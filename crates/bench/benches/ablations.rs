@@ -1,0 +1,101 @@
+//! Ablation benches for the design choices DESIGN.md calls out: chaining
+//! vs basic SP, condition prediction, loop rotation, the chain budget,
+//! and dominator-heuristic vs min-cut trigger placement. Each bench
+//! returns the SSP cycle count so `cargo bench` records how the knob
+//! moves the bottom line.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssp_bench::SEED;
+use ssp_core::{simulate, AdaptOptions, MachineConfig, PostPassTool, ScheduleOptions, SpModel};
+
+fn ssp_cycles(w: &ssp_workloads::Workload, mc: &MachineConfig, opts: AdaptOptions) -> u64 {
+    let tool = PostPassTool::new(mc.clone()).with_options(opts);
+    let adapted = tool.run(&w.program);
+    simulate(&adapted.program, mc).cycles
+}
+
+fn bench_model_choice(c: &mut Criterion) {
+    let w = ssp_workloads::mcf::build(SEED);
+    let mc = MachineConfig::in_order();
+    let mut g = c.benchmark_group("ablation_chaining_vs_basic");
+    g.sample_size(10);
+    g.bench_function("mcf/auto", |b| {
+        b.iter(|| ssp_cycles(&w, &mc, AdaptOptions::default()))
+    });
+    g.bench_function("mcf/forced-basic", |b| {
+        let mut o = AdaptOptions::default();
+        o.select.force_model = Some(SpModel::Basic);
+        o.select.min_slack = i64::MIN;
+        b.iter(|| ssp_cycles(&w, &mc, o.clone()))
+    });
+    g.finish();
+}
+
+fn bench_dependence_reduction(c: &mut Criterion) {
+    let w = ssp_workloads::treeadd::build_bf(SEED);
+    let mc = MachineConfig::in_order();
+    let mut g = c.benchmark_group("ablation_dependence_reduction");
+    g.sample_size(10);
+    g.bench_function("treeadd.bf/full", |b| {
+        b.iter(|| ssp_cycles(&w, &mc, AdaptOptions::default()))
+    });
+    g.bench_function("treeadd.bf/no-condition-prediction", |b| {
+        let mut o = AdaptOptions::default();
+        o.select.sched = ScheduleOptions { condition_prediction: false, ..Default::default() };
+        b.iter(|| ssp_cycles(&w, &mc, o.clone()))
+    });
+    g.bench_function("treeadd.bf/no-loop-rotation", |b| {
+        let mut o = AdaptOptions::default();
+        o.select.sched = ScheduleOptions { loop_rotation: false, ..Default::default() };
+        b.iter(|| ssp_cycles(&w, &mc, o.clone()))
+    });
+    g.finish();
+}
+
+fn bench_chain_budget(c: &mut Criterion) {
+    let w = ssp_workloads::vpr::build(SEED);
+    let mc = MachineConfig::in_order();
+    let mut g = c.benchmark_group("ablation_chain_budget");
+    g.sample_size(10);
+    for budget in [8u64, 64, 512] {
+        g.bench_function(format!("vpr/budget-{budget}"), |b| {
+            let mut o = AdaptOptions::default();
+            o.emit.chain_budget = budget;
+            b.iter(|| ssp_cycles(&w, &mc, o.clone()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_trigger_placement(c: &mut Criterion) {
+    // Min-cut vs dominator heuristic: compare the *placement cost
+    // computation* itself (the emitted binaries use the heuristic).
+    let w = ssp_workloads::mcf::build(SEED);
+    let mc = MachineConfig::in_order();
+    let profile = ssp_core::profile(&w.program, &mc);
+    let fid = w.program.entry;
+    let func = w.program.func(fid);
+    let cfg = ssp_ir::cfg::Cfg::new(func);
+    // The delinquent load's block.
+    let index = w.program.tag_index();
+    let root = index[&profile.delinquent_loads(0.9)[0]];
+    let mut g = c.benchmark_group("ablation_trigger_placement");
+    g.sample_size(20);
+    g.bench_function("mcf/min-cut", |b| {
+        b.iter(|| {
+            ssp_trigger::min_cut_triggers(fid, &cfg, func.entry, root.block, &profile, 20, 2)
+                .edges
+                .len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_model_choice,
+    bench_dependence_reduction,
+    bench_chain_budget,
+    bench_trigger_placement
+);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion benches, one group per paper experiment: they time the
+//! simulations that regenerate each figure so `cargo bench` exercises
+//! every harness end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssp_bench::SEED;
+use ssp_core::{simulate, MachineConfig, MemoryMode, PostPassTool};
+
+fn bench_fig2(c: &mut Criterion) {
+    let w = ssp_workloads::mcf::build(SEED);
+    let io = MachineConfig::in_order();
+    let perfect = io.clone().with_memory_mode(MemoryMode::PerfectAll);
+    let mut g = c.benchmark_group("fig2_perfect_memory");
+    g.sample_size(10);
+    g.bench_function("mcf/in-order/baseline", |b| {
+        b.iter(|| simulate(&w.program, &io).cycles)
+    });
+    g.bench_function("mcf/in-order/perfect-mem", |b| {
+        b.iter(|| simulate(&w.program, &perfect).cycles)
+    });
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let w = ssp_workloads::treeadd::build_bf(SEED);
+    let io = MachineConfig::in_order();
+    let ooo = MachineConfig::out_of_order();
+    let tool = PostPassTool::new(io.clone());
+    let adapted = tool.run(&w.program);
+    let mut g = c.benchmark_group("fig8_speedups");
+    g.sample_size(10);
+    g.bench_function("treeadd.bf/in-order/base", |b| {
+        b.iter(|| simulate(&w.program, &io).cycles)
+    });
+    g.bench_function("treeadd.bf/in-order/ssp", |b| {
+        b.iter(|| simulate(&adapted.program, &io).cycles)
+    });
+    g.bench_function("treeadd.bf/ooo/base", |b| {
+        b.iter(|| simulate(&w.program, &ooo).cycles)
+    });
+    g.bench_function("treeadd.bf/ooo/ssp", |b| {
+        b.iter(|| simulate(&adapted.program, &ooo).cycles)
+    });
+    g.finish();
+}
+
+fn bench_fig9_fig10_stats(c: &mut Criterion) {
+    // The per-load stats and cycle breakdown come from the same timed
+    // runs; this group times the instrumented simulation that feeds
+    // Figures 9 and 10.
+    let w = ssp_workloads::em3d::build(SEED);
+    let io = MachineConfig::in_order();
+    let tool = PostPassTool::new(io.clone());
+    let adapted = tool.run(&w.program);
+    let mut g = c.benchmark_group("fig9_fig10_instrumented_runs");
+    g.sample_size(10);
+    g.bench_function("em3d/in-order/ssp-with-stats", |b| {
+        b.iter(|| {
+            let r = simulate(&adapted.program, &io);
+            (r.breakdown.l3_miss, r.load_stats_all().accesses)
+        })
+    });
+    g.finish();
+}
+
+fn bench_table2_adaptation(c: &mut Criterion) {
+    // Table 2 is produced by the tool itself: time the full post-pass
+    // adaptation per benchmark.
+    let io = MachineConfig::in_order();
+    let tool = PostPassTool::new(io.clone());
+    let mut g = c.benchmark_group("table2_post_pass_tool");
+    g.sample_size(10);
+    for w in ssp_workloads::suite(SEED) {
+        g.bench_function(w.name, |b| {
+            b.iter(|| tool.run(&w.program).report.slice_count())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig2, bench_fig8, bench_fig9_fig10_stats, bench_table2_adaptation);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Benches of the post-pass tool's individual phases — profiling,
+//! slicing, scheduling, trigger placement — on the mcf workload, so
+//! regressions in any compiler pass are visible in isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssp_bench::SEED;
+use ssp_core::MachineConfig;
+use ssp_ir::InstRef;
+use ssp_slicing::{Analyses, RegionDepGraph, SliceOptions, Slicer};
+
+fn bench_phases(c: &mut Criterion) {
+    let w = ssp_workloads::mcf::build(SEED);
+    let mc = MachineConfig::in_order();
+    let mut g = c.benchmark_group("tool_phases");
+    g.sample_size(10);
+
+    g.bench_function("profile", |b| {
+        b.iter(|| ssp_core::profile(&w.program, &mc).loads.len())
+    });
+
+    let profile = ssp_core::profile(&w.program, &mc);
+    let index = w.program.tag_index();
+    let root: InstRef = index[&profile.delinquent_loads(0.9)[0]];
+
+    g.bench_function("slice_in_region", |b| {
+        b.iter(|| {
+            let mut slicer = Slicer::new(&w.program, &profile, SliceOptions::default());
+            let fa_blocks: Vec<ssp_ir::BlockId> = {
+                let fa = slicer.analyses.get(&w.program, root.func);
+                let l = fa.loops.innermost(root.block).unwrap();
+                fa.loops.get(l).blocks.clone()
+            };
+            slicer.slice_in_region(root, &fa_blocks).size()
+        })
+    });
+
+    g.bench_function("schedule_chaining", |b| {
+        let mut slicer = Slicer::new(&w.program, &profile, SliceOptions::default());
+        let blocks: Vec<ssp_ir::BlockId> = {
+            let fa = slicer.analyses.get(&w.program, root.func);
+            let l = fa.loops.innermost(root.block).unwrap();
+            fa.loops.get(l).blocks.clone()
+        };
+        let slice = slicer.slice_in_region(root, &blocks);
+        let graph = {
+            let fa = slicer.analyses.get(&w.program, root.func);
+            RegionDepGraph::build(&w.program, root.func, &blocks, fa, &profile, &mc)
+        };
+        let keep: std::collections::HashSet<_> = slice.insts.iter().copied().collect();
+        let sg = graph.induced(&keep);
+        b.iter(|| {
+            ssp_sched::schedule_chaining(
+                &sg,
+                &w.program,
+                &profile,
+                &mc,
+                &ssp_sched::ScheduleOptions::default(),
+            )
+            .order
+            .len()
+        })
+    });
+
+    g.bench_function("place_trigger", |b| {
+        let mut slicer = Slicer::new(&w.program, &profile, SliceOptions::default());
+        let blocks: Vec<ssp_ir::BlockId> = {
+            let fa = slicer.analyses.get(&w.program, root.func);
+            let l = fa.loops.innermost(root.block).unwrap();
+            fa.loops.get(l).blocks.clone()
+        };
+        let slice = slicer.slice_in_region(root, &blocks);
+        let mut analyses = Analyses::new();
+        b.iter(|| {
+            let fa = analyses.get(&w.program, root.func);
+            ssp_trigger::place_trigger(
+                &w.program,
+                fa,
+                &profile,
+                &slice,
+                ssp_trigger::TriggerStyle::PerIteration,
+            )
+        })
+    });
+
+    g.bench_function("full_adapt", |b| {
+        let tool = ssp_core::PostPassTool::new(mc.clone());
+        b.iter(|| tool.run(&w.program).report.slice_count())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_phases);
+criterion_main!(benches);

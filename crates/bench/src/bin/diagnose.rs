@@ -1,0 +1,53 @@
+//! Diagnostic dump: per benchmark, what the tool decided and how the
+//! adapted binary behaved. Not part of the paper's tables; a debugging
+//! aid for the reproduction.
+
+use ssp_core::{simulate, MachineConfig, PostPassTool};
+use ssp_bench::SEED;
+
+fn main() {
+    let mut names: Vec<String> = std::env::args().skip(1).collect();
+    let use_ooo = names.iter().position(|n| n == "--ooo").map(|i| { names.remove(i); }).is_some();
+    let io = if use_ooo { MachineConfig::out_of_order() } else { MachineConfig::in_order() };
+    for w in ssp_workloads::suite(SEED) {
+        if !names.is_empty() && !names.iter().any(|n| n == w.name) {
+            continue;
+        }
+        let tool = PostPassTool::new(io.clone());
+        let adapted = tool.run(&w.program);
+        let base = simulate(&w.program, &io);
+        let ssp = simulate(&adapted.program, &io);
+        println!("=== {} ===", w.name);
+        println!(
+            "  delinquent loads: {} | slices: {} | skipped: {:?}",
+            adapted.report.delinquent.len(),
+            adapted.report.slice_count(),
+            adapted.report.skipped
+        );
+        for s in &adapted.report.slices {
+            println!(
+                "  slice: model={:?} len={} live_ins={:?} interproc={} trigger={}:{:?} roots={:?}",
+                s.model, s.slice_len, s.live_ins, s.interprocedural,
+                s.trigger.block, s.trigger.after, s.root_tags
+            );
+        }
+        println!(
+            "  base={} ssp={} speedup={:.2} | spawned={} dropped={} fired={} suppressed={} runaway={} spec_insts={}",
+            base.cycles,
+            ssp.cycles,
+            base.cycles as f64 / ssp.cycles as f64,
+            ssp.threads_spawned,
+            ssp.spawns_dropped,
+            ssp.spawns_fired,
+            ssp.spawns_suppressed,
+            ssp.runaway_kills,
+            ssp.spec_insts,
+        );
+        let d_base = base.load_stats_for(&adapted.report.delinquent);
+        let d_ssp = ssp.load_stats_for(&adapted.report.delinquent);
+        println!("  delinq base: {d_base:?}");
+        println!("  delinq ssp : {d_ssp:?}");
+        println!("  breakdown base: {:?}", base.breakdown);
+        println!("  breakdown ssp : {:?}", ssp.breakdown);
+    }
+}

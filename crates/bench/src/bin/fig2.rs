@@ -1,0 +1,22 @@
+//! Figure 2: speedup when assuming perfect memory vs. when assuming the
+//! delinquent loads always hit the cache, on both machine models.
+
+use ssp_bench::{fig2_row, SEED};
+
+fn main() {
+    println!("Figure 2 — perfect memory vs. perfect delinquent loads (speedup over same-model baseline)");
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>12}",
+        "benchmark", "perf-mem io", "perf-del io", "perf-mem ooo", "perf-del ooo"
+    );
+    for w in ssp_workloads::suite(SEED) {
+        let r = fig2_row(&w);
+        println!(
+            "{:<12} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
+            r.name, r.perfect_mem_io, r.perfect_del_io, r.perfect_mem_ooo, r.perfect_del_ooo
+        );
+    }
+    println!();
+    println!("shape check: perfect-delinquent should recover most of perfect memory's win,");
+    println!("confirming that a handful of static loads cause the majority of miss cycles.");
+}

@@ -1,0 +1,44 @@
+//! Figure 8: speedups of in-order+SSP, the OOO model, and OOO+SSP over
+//! the baseline in-order model, for all seven benchmarks.
+
+use ssp_bench::{mean, pct, run_benchmark, SEED};
+
+fn main() {
+    println!("Figure 8 — speedups over the baseline in-order model");
+    println!("{:<12} {:>12} {:>8} {:>9}", "benchmark", "in-order+SSP", "OOO", "OOO+SSP");
+    let mut io_ssp = Vec::new();
+    let mut ooo = Vec::new();
+    let mut ooo_ssp = Vec::new();
+    for w in ssp_workloads::suite(SEED) {
+        let run = run_benchmark(&w);
+        println!(
+            "{:<12} {:>12.2} {:>8.2} {:>9.2}",
+            run.name,
+            run.speedup_io_ssp(),
+            run.speedup_ooo(),
+            run.speedup_ooo_ssp()
+        );
+        io_ssp.push(run.speedup_io_ssp());
+        ooo.push(run.speedup_ooo());
+        ooo_ssp.push(run.speedup_ooo_ssp());
+    }
+    println!(
+        "{:<12} {:>12.2} {:>8.2} {:>9.2}",
+        "mean",
+        mean(io_ssp.iter().copied()),
+        mean(ooo.iter().copied()),
+        mean(ooo_ssp.iter().copied())
+    );
+    println!();
+    println!(
+        "paper: SSP {} on in-order, OOO alone +175%, SSP {} on top of OOO",
+        pct(1.87),
+        pct(1.05)
+    );
+    println!(
+        "ours : SSP {} on in-order, OOO alone {}, SSP on OOO {}",
+        pct(mean(io_ssp.iter().copied())),
+        pct(mean(ooo.iter().copied())),
+        pct(mean(ooo_ssp.iter().copied()) / mean(ooo.iter().copied()))
+    );
+}

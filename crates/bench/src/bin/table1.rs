@@ -1,0 +1,55 @@
+//! Table 1: the modeled research Itanium processor configuration.
+
+use ssp_core::MachineConfig;
+
+fn main() {
+    let io = MachineConfig::in_order();
+    let ooo = MachineConfig::out_of_order();
+    println!("Table 1 — Modeled Research Itanium Processor");
+    println!("Threading       SMT processor with {} hardware thread contexts", io.num_contexts);
+    println!(
+        "Pipelining      in-order: 12-stage (mispredict {}). OOO: 16-stage (mispredict {}),",
+        io.mispredict_penalty, ooo.mispredict_penalty
+    );
+    println!(
+        "                {}-entry ROB and {}-entry reservation station per thread",
+        ooo.rob_entries, ooo.rs_entries
+    );
+    println!(
+        "Fetch/issue     {} bundles/cycle from 1 thread or 1 bundle each from 2 threads ({}-wide bundles)",
+        io.bundles_per_cycle, io.bundle_width
+    );
+    println!(
+        "Function units  {} int, {} FP, {} branch, {} memory ports",
+        io.int_units, io.fp_units, io.branch_units, io.mem_ports
+    );
+    let c = |cc: &ssp_core::MachineConfig| {
+        format!(
+            "L1D {}KB/{}-way/{}cy; L2 {}KB/{}-way/{}cy; L3 {}KB/{}-way/{}cy; fill buffer {}; {}B lines",
+            cc.l1d.size / 1024,
+            cc.l1d.assoc,
+            cc.l1d.latency,
+            cc.l2.size / 1024,
+            cc.l2.assoc,
+            cc.l2.latency,
+            cc.l3.size / 1024,
+            cc.l3.assoc,
+            cc.l3.latency,
+            cc.fill_buffer,
+            cc.l1d.line,
+        )
+    };
+    println!("Caches          {}", c(&io));
+    println!(
+        "Memory          {}-cycle latency; TLB miss penalty {} cycles ({} entries)",
+        io.mem_latency, io.tlb_miss_penalty, io.tlb_entries
+    );
+    println!(
+        "Branch pred.    {}-entry GSHARE; {}-entry {}-way BTB",
+        io.gshare_entries, io.btb_entries, io.btb_assoc
+    );
+    println!(
+        "SSP support     spawn flush {} cycles; spawn latency {}; live-in buffer {}x{} words",
+        io.spawn_flush_penalty, io.spawn_latency, io.lib_slots, io.lib_slot_words
+    );
+}

@@ -1,0 +1,25 @@
+//! Table 2: slice characteristics — number of slices, interprocedural
+//! slices, average size, average live-in count per benchmark.
+
+use ssp_bench::SEED;
+use ssp_core::{MachineConfig, PostPassTool};
+
+fn main() {
+    println!("Table 2 — slice characteristics");
+    println!(
+        "{:<12} {:>8} {:>16} {:>12} {:>12}",
+        "benchmark", "slices", "interproc", "avg size", "avg live-in"
+    );
+    let tool = PostPassTool::new(MachineConfig::in_order());
+    for w in ssp_workloads::suite(SEED) {
+        let adapted = tool.run(&w.program);
+        let c = adapted.characteristics(w.name);
+        println!(
+            "{:<12} {:>8} {:>16} {:>12.1} {:>12.1}",
+            c.name, c.slices, c.interprocedural, c.average_size, c.average_live_ins
+        );
+    }
+    println!();
+    println!("paper (for the real benchmarks): 2-8 slices each, sizes 9.0-28.3,");
+    println!("live-ins 2.8-4.8, one interprocedural slice for health and mst.");
+}

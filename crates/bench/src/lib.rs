@@ -1,0 +1,166 @@
+//! Experiment harnesses regenerating every table and figure of the
+//! paper's evaluation (§4). Each `fig*`/`table*` binary in `src/bin/`
+//! prints the same rows/series the paper reports; the functions here do
+//! the work so Criterion benches and integration tests can reuse them.
+//!
+//! Absolute numbers differ from the paper (our substrate is a synthetic
+//! simulator and synthetic workloads; see DESIGN.md), but the *shape* —
+//! who wins, by roughly what factor, where the crossovers fall — is the
+//! reproduction target recorded in EXPERIMENTS.md.
+
+pub mod hand;
+
+use ssp_core::{
+    simulate, AdaptOptions, AdaptReport, MachineConfig, MemoryMode, PostPassTool, SimResult,
+};
+use ssp_workloads::Workload;
+
+/// Default deterministic seed for all experiments.
+pub const SEED: u64 = 2002;
+
+/// The four configurations of Figures 8–10 for one benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkRun {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Baseline in-order machine.
+    pub base_io: SimResult,
+    /// In-order machine running the SSP-enhanced binary.
+    pub ssp_io: SimResult,
+    /// Out-of-order machine, original binary.
+    pub base_ooo: SimResult,
+    /// Out-of-order machine, SSP-enhanced binary.
+    pub ssp_ooo: SimResult,
+    /// What the post-pass tool emitted.
+    pub report: AdaptReport,
+}
+
+impl BenchmarkRun {
+    /// Speedup of in-order+SSP over baseline in-order (Figure 8, bar 1).
+    pub fn speedup_io_ssp(&self) -> f64 {
+        self.base_io.cycles as f64 / self.ssp_io.cycles as f64
+    }
+
+    /// Speedup of OOO over baseline in-order (Figure 8, bar 2).
+    pub fn speedup_ooo(&self) -> f64 {
+        self.base_io.cycles as f64 / self.base_ooo.cycles as f64
+    }
+
+    /// Speedup of OOO+SSP over baseline in-order (Figure 8, bar 3).
+    pub fn speedup_ooo_ssp(&self) -> f64 {
+        self.base_io.cycles as f64 / self.ssp_ooo.cycles as f64
+    }
+}
+
+/// Run the full tool + simulation pipeline for one benchmark: profile,
+/// adapt, then simulate all four configurations (the paper evaluates the
+/// same enhanced binary on both machine models).
+pub fn run_benchmark(w: &Workload) -> BenchmarkRun {
+    run_benchmark_with(w, &AdaptOptions::default())
+}
+
+/// [`run_benchmark`] with explicit adaptation options (for ablations).
+pub fn run_benchmark_with(w: &Workload, opts: &AdaptOptions) -> BenchmarkRun {
+    let io = MachineConfig::in_order();
+    let ooo = MachineConfig::out_of_order();
+    let tool = PostPassTool::new(io.clone()).with_options(opts.clone());
+    let adapted = tool.run(&w.program);
+    BenchmarkRun {
+        name: w.name,
+        base_io: simulate(&w.program, &io),
+        ssp_io: simulate(&adapted.program, &io),
+        base_ooo: simulate(&w.program, &ooo),
+        ssp_ooo: simulate(&adapted.program, &ooo),
+        report: adapted.report,
+    }
+}
+
+/// One benchmark's Figure 2 bars: speedups under perfect memory and
+/// perfect delinquent loads, on both machine models.
+#[derive(Clone, Debug)]
+pub struct Fig2Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Perfect memory speedup, in-order.
+    pub perfect_mem_io: f64,
+    /// Perfect delinquent loads speedup, in-order.
+    pub perfect_del_io: f64,
+    /// Perfect memory speedup, OOO.
+    pub perfect_mem_ooo: f64,
+    /// Perfect delinquent loads speedup, OOO.
+    pub perfect_del_ooo: f64,
+}
+
+/// Compute Figure 2's bars for one benchmark.
+pub fn fig2_row(w: &Workload) -> Fig2Row {
+    let io = MachineConfig::in_order();
+    let ooo = MachineConfig::out_of_order();
+    let profile = ssp_core::profile(&w.program, &io);
+    let delinquent: std::collections::HashSet<_> =
+        profile.delinquent_loads(0.9).into_iter().collect();
+
+    let run = |mc: &MachineConfig, mode: MemoryMode| {
+        simulate(&w.program, &mc.clone().with_memory_mode(mode))
+    };
+    let base_io = run(&io, MemoryMode::Normal);
+    let base_ooo = run(&ooo, MemoryMode::Normal);
+    Fig2Row {
+        name: w.name,
+        perfect_mem_io: base_io.cycles as f64
+            / run(&io, MemoryMode::PerfectAll).cycles as f64,
+        perfect_del_io: base_io.cycles as f64
+            / run(&io, MemoryMode::PerfectDelinquent(delinquent.clone())).cycles as f64,
+        perfect_mem_ooo: base_ooo.cycles as f64
+            / run(&ooo, MemoryMode::PerfectAll).cycles as f64,
+        perfect_del_ooo: base_ooo.cycles as f64
+            / run(&ooo, MemoryMode::PerfectDelinquent(delinquent)).cycles as f64,
+    }
+}
+
+/// Geometric-free arithmetic mean used by the paper ("average of 87%").
+pub fn mean(xs: impl IntoIterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = xs.into_iter().collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+/// Render a percentage-style speedup (1.87 -> "+87%").
+pub fn pct(speedup: f64) -> String {
+    format!("{:+.0}%", (speedup - 1.0) * 100.0)
+}
+
+/// Fixed-width table cell.
+pub fn cell(v: f64) -> String {
+    format!("{v:>8.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_pct() {
+        assert_eq!(mean([1.0, 3.0]), 2.0);
+        assert_eq!(mean(std::iter::empty::<f64>()), 0.0);
+        assert_eq!(pct(1.87), "+87%");
+        assert_eq!(pct(0.95), "-5%");
+    }
+
+    #[test]
+    fn fig2_row_shapes() {
+        let w = ssp_workloads::mcf::build(SEED);
+        let row = fig2_row(&w);
+        assert!(row.perfect_mem_io > 1.5, "mcf is memory bound: {}", row.perfect_mem_io);
+        assert!(
+            row.perfect_del_io <= row.perfect_mem_io + 1e-9,
+            "fixing a subset of loads cannot beat perfect memory"
+        );
+        assert!(
+            row.perfect_del_io > 0.8 * row.perfect_mem_io,
+            "eliminating just the delinquent loads yields most of the perfect-memory win"
+        );
+        assert!(row.perfect_mem_ooo > 1.5, "the OOO model still has memory headroom");
+    }
+}

@@ -1,0 +1,296 @@
+//! SSP-enabled binary adaptation: the code-generation half of the
+//! post-pass tool (§3.4).
+//!
+//! [`adapt`] takes an original program, its profile, and a machine model,
+//! and produces the SSP-enhanced binary: for every delinquent load it
+//! selects a region and precomputation model ([`select`]), schedules the
+//! p-slice (via [`ssp_sched`]), places a trigger (via [`ssp_trigger`]),
+//! and rewrites the binary with stub and slice attachments ([`emit`]).
+
+pub mod emit;
+pub mod select;
+
+pub use emit::{EmitOptions, EmittedSlice, PendingStub, SkipReason};
+pub use select::{plan_for_load, SelectOptions, SlicePlan};
+
+use ssp_ir::{InstTag, Program};
+use ssp_sim::{MachineConfig, Profile};
+use ssp_slicing::{SliceOptions, Slicer};
+use ssp_trigger::TriggerPoint;
+
+/// Options for the whole adaptation.
+#[derive(Clone, Debug)]
+pub struct AdaptOptions {
+    /// Fraction of total miss cycles the delinquent-load set must cover
+    /// (the paper uses "at least 90% of the cache misses").
+    pub coverage: f64,
+    /// Slicer knobs.
+    pub slice: SliceOptions,
+    /// Region/model selection knobs.
+    pub select: SelectOptions,
+    /// Emission knobs.
+    pub emit: EmitOptions,
+}
+
+impl Default for AdaptOptions {
+    fn default() -> Self {
+        AdaptOptions {
+            coverage: 0.9,
+            slice: SliceOptions::default(),
+            select: SelectOptions::default(),
+            emit: EmitOptions::default(),
+        }
+    }
+}
+
+/// What the adaptation did — the source of Table 2.
+#[derive(Clone, Debug, Default)]
+pub struct AdaptReport {
+    /// Delinquent loads identified from the profile.
+    pub delinquent: Vec<InstTag>,
+    /// Emitted slices.
+    pub slices: Vec<EmittedSlice>,
+    /// Loads that could not be adapted, with reasons.
+    pub skipped: Vec<(InstTag, SkipReason)>,
+}
+
+impl AdaptReport {
+    /// Number of emitted slices.
+    pub fn slice_count(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Number of interprocedural slices.
+    pub fn interprocedural_count(&self) -> usize {
+        self.slices.iter().filter(|s| s.interprocedural).count()
+    }
+
+    /// Average slice size in instructions.
+    pub fn average_size(&self) -> f64 {
+        if self.slices.is_empty() {
+            return 0.0;
+        }
+        self.slices.iter().map(|s| s.slice_len as f64).sum::<f64>() / self.slices.len() as f64
+    }
+
+    /// Average number of live-in values.
+    pub fn average_live_ins(&self) -> f64 {
+        if self.slices.is_empty() {
+            return 0.0;
+        }
+        self.slices.iter().map(|s| s.live_ins.len() as f64).sum::<f64>()
+            / self.slices.len() as f64
+    }
+}
+
+/// Adapt `prog` for software-based speculative precomputation.
+///
+/// Returns the enhanced binary and a report. The input program is not
+/// modified; the result is re-verified (structure + no stores in slices).
+///
+/// # Panics
+///
+/// Panics if the emitted binary fails verification — that would be a bug
+/// in the tool, not in the input.
+pub fn adapt(
+    prog: &Program,
+    profile: &Profile,
+    mc: &MachineConfig,
+    opts: &AdaptOptions,
+) -> (Program, AdaptReport) {
+    let mut report = AdaptReport {
+        delinquent: profile.delinquent_loads(opts.coverage),
+        ..AdaptReport::default()
+    };
+    let index = prog.tag_index();
+
+    let mut slicer = Slicer::new(prog, profile, opts.slice.clone());
+    let mut plans = Vec::new();
+    for &tag in &report.delinquent {
+        let Some(&root) = index.get(&tag) else { continue };
+        match select::plan_for_load(&mut slicer, prog, profile, mc, root, &opts.select) {
+            Some(plan) => plans.push(plan),
+            None => report.skipped.push((tag, SkipReason::EmptySlice)),
+        }
+    }
+
+    // Combine slices sharing dependence-graph nodes in the same region
+    // (§3.4.1), union-merging the instruction sets and rescheduling.
+    let mut groups: Vec<(SlicePlan, bool)> = Vec::new();
+    'next: for plan in plans {
+        for (g, dirty) in &mut groups {
+            if g.func == plan.func
+                && g.blocks == plan.blocks
+                && g.slice.insts.iter().any(|i| plan.slice.insts.contains(i))
+            {
+                g.extra_roots.push(plan.root);
+                g.extra_roots.extend(plan.extra_roots.iter().copied());
+                g.slice.insts.extend(plan.slice.insts.iter().copied());
+                g.slice.callee_insts.extend(plan.slice.callee_insts.iter().copied());
+                g.slice.live_ins.extend(plan.slice.live_ins.iter().copied());
+                g.slice.speculative_values |= plan.slice.speculative_values;
+                g.reduced = g.reduced.max(plan.reduced);
+                *dirty = true;
+                continue 'next;
+            }
+        }
+        groups.push((plan, false));
+    }
+    let merged: Vec<SlicePlan> = groups
+        .into_iter()
+        .map(|(plan, dirty)| {
+            if dirty {
+                let slice = plan.slice.clone();
+                select::reschedule(&mut slicer, prog, profile, mc, &plan, slice, &opts.select)
+            } else {
+                plan
+            }
+        })
+        .collect();
+
+    // Trigger placement on the *original* program: chaining triggers
+    // re-fire per iteration; basic triggers fire once per region entry.
+    let mut placed: Vec<(SlicePlan, TriggerPoint)> = Vec::new();
+    for plan in merged {
+        let style = match plan.model {
+            ssp_sched::SpModel::Chaining => ssp_trigger::TriggerStyle::PerIteration,
+            ssp_sched::SpModel::Basic => ssp_trigger::TriggerStyle::PerRegionEntry,
+        };
+        let fa = slicer.analyses.get(prog, plan.func);
+        let tp = ssp_trigger::place_trigger(prog, fa, profile, &plan.slice, style);
+        placed.push((plan, tp));
+    }
+
+    // Phase 1: append slice + stub blocks. Phase 2: insert triggers.
+    let mut out = prog.clone();
+    let mut work = Vec::new();
+    for (plan, tp) in placed {
+        match emit::emit_slice(&mut out, &plan, &opts.emit) {
+            Ok(mut pending) => {
+                pending
+                    .root_tags
+                    .extend(plan.extra_roots.iter().map(|&r| prog.inst(r).tag));
+                report.slices.push(EmittedSlice {
+                    root_tags: pending.root_tags.clone(),
+                    trigger: tp,
+                    stub: pending.stub,
+                    slice_entry: pending.slice_entry,
+                    model: pending.model,
+                    live_ins: pending.live_ins.clone(),
+                    slice_len: pending.slice_len,
+                    interprocedural: pending.interprocedural,
+                });
+                work.push((tp, pending));
+            }
+            Err(reason) => {
+                report.skipped.push((prog.inst(plan.root).tag, reason));
+            }
+        }
+    }
+    emit::insert_triggers(&mut out, work);
+
+    emit::verify_emitted(&out).expect("adapted binary must verify");
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssp_ir::{CmpKind, Operand, ProgramBuilder, Reg};
+    use ssp_sim::{simulate, MemoryMode};
+
+    /// The pointer-chase program used throughout: arcs -> scattered nodes.
+    fn pointer_chase(n: u64) -> Program {
+        let mut pb = ProgramBuilder::new();
+        for i in 0..n {
+            let perm = (i * 7919) % n;
+            pb.data_word(0x0100_0000 + 64 * i, 0x0800_0000 + 64 * perm);
+            pb.data_word(0x0800_0000 + 64 * perm, perm);
+        }
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        let (arc, k, t, u, v, sum, p) =
+            (Reg(64), Reg(65), Reg(66), Reg(67), Reg(68), Reg(69), Reg(70));
+        f.at(e)
+            .movi(arc, 0x0100_0000)
+            .movi(k, 0x0100_0000 + (64 * n) as i64)
+            .movi(sum, 0)
+            .br(body);
+        f.at(body)
+            .mov(t, arc)
+            .ld(u, t, 0)
+            .ld(v, u, 0)
+            .add(sum, sum, Operand::Reg(v))
+            .add(arc, t, 64)
+            .cmp(CmpKind::Lt, p, arc, Operand::Reg(k))
+            .br_cond(p, body, exit);
+        f.at(exit).halt();
+        let main = f.finish();
+        pb.finish_with(main)
+    }
+
+    #[test]
+    fn adapt_produces_verified_binary_with_slices() {
+        let prog = pointer_chase(400);
+        let mc = MachineConfig::in_order();
+        let profile = ssp_sim::profile(&prog, &mc);
+        let (adapted, report) = adapt(&prog, &profile, &mc, &AdaptOptions::default());
+        assert!(!report.delinquent.is_empty());
+        assert!(report.slice_count() >= 1, "skipped: {:?}", report.skipped);
+        assert!(adapted.inst_count() > prog.inst_count());
+        // Original instructions keep their tags.
+        let orig_tags: std::collections::HashSet<_> = prog.tag_index().keys().copied().collect();
+        let new_tags: std::collections::HashSet<_> = adapted.tag_index().keys().copied().collect();
+        assert!(orig_tags.is_subset(&new_tags));
+    }
+
+    #[test]
+    fn adapted_binary_speeds_up_in_order_machine() {
+        let prog = pointer_chase(400);
+        let mc = MachineConfig::in_order();
+        let profile = ssp_sim::profile(&prog, &mc);
+        let (adapted, report) = adapt(&prog, &profile, &mc, &AdaptOptions::default());
+        assert!(report.slice_count() >= 1);
+        let base = simulate(&prog, &mc);
+        let ssp = simulate(&adapted, &mc);
+        assert!(ssp.halted);
+        assert!(ssp.threads_spawned > 0, "speculative threads must run");
+        assert!(
+            ssp.cycles * 10 < base.cycles * 9,
+            "automatic SSP must save at least 10%: base={} ssp={}",
+            base.cycles,
+            ssp.cycles
+        );
+    }
+
+    #[test]
+    fn adapted_binary_preserves_semantics() {
+        // The main thread must execute the same loop: per-tag main-thread
+        // load counts must match under perfect memory.
+        let prog = pointer_chase(300);
+        let mc = MachineConfig::in_order();
+        let profile = ssp_sim::profile(&prog, &mc);
+        let (adapted, _) = adapt(&prog, &profile, &mc, &AdaptOptions::default());
+        let base = simulate(&prog, &mc.clone().with_memory_mode(MemoryMode::PerfectAll));
+        let ssp = simulate(&adapted, &mc.clone().with_memory_mode(MemoryMode::PerfectAll));
+        for (tag, stats) in &base.loads {
+            let ssp_stats = ssp.loads.get(tag).map(|s| s.accesses).unwrap_or(0);
+            assert_eq!(stats.accesses, ssp_stats, "load {tag} executes equally often");
+        }
+        assert!(ssp.halted && base.halted);
+    }
+
+    #[test]
+    fn report_metrics_are_consistent() {
+        let prog = pointer_chase(200);
+        let mc = MachineConfig::in_order();
+        let profile = ssp_sim::profile(&prog, &mc);
+        let (_, report) = adapt(&prog, &profile, &mc, &AdaptOptions::default());
+        assert_eq!(report.slice_count(), report.slices.len());
+        assert!(report.average_size() > 0.0);
+        assert!(report.average_live_ins() >= 1.0, "arc and K are live-ins");
+        assert!(report.interprocedural_count() <= report.slice_count());
+    }
+}

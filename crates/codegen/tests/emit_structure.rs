@@ -1,0 +1,183 @@
+//! Structural tests of the emitted SSP code: the Figure-7 layout, the
+//! chaining vs. basic slice shapes, prefetch demotion, and the skip
+//! conditions.
+
+use ssp_codegen::{adapt, AdaptOptions, SkipReason};
+use ssp_ir::{BlockId, CmpKind, Op, Operand, Program, ProgramBuilder, Reg};
+use ssp_sim::MachineConfig;
+
+fn chase(n: u64, use_value: bool) -> Program {
+    let mut pb = ProgramBuilder::new();
+    for i in 0..n {
+        let perm = (i * 7919) % n;
+        pb.data_word(0x0100_0000 + 64 * i, 0x0800_0000 + 64 * perm);
+        pb.data_word(0x0800_0000 + 64 * perm, perm);
+    }
+    let mut f = pb.function("main");
+    let (e, body, exit) = (f.entry_block(), f.new_block(), f.new_block());
+    let (ptr, k, u, v, sum, p) = (Reg(64), Reg(65), Reg(66), Reg(67), Reg(68), Reg(69));
+    f.at(e)
+        .movi(ptr, 0x0100_0000)
+        .movi(k, 0x0100_0000 + (64 * n) as i64)
+        .movi(sum, 0)
+        .br(body);
+    let mut c = f.at(body).ld(u, ptr, 0).ld(v, u, 0);
+    if use_value {
+        c = c.add(sum, sum, Operand::Reg(v));
+    }
+    c.add(ptr, ptr, 64)
+        .cmp(CmpKind::Lt, p, ptr, Operand::Reg(k))
+        .br_cond(p, body, exit);
+    f.at(exit).halt();
+    let main = f.finish();
+    pb.finish_with(main)
+}
+
+fn adapt_default(prog: &Program) -> (Program, ssp_codegen::AdaptReport) {
+    let mc = MachineConfig::in_order();
+    let profile = ssp_sim::profile(prog, &mc);
+    adapt(prog, &profile, &mc, &AdaptOptions::default())
+}
+
+fn block_ops(prog: &Program, f: ssp_ir::FuncId, b: BlockId) -> Vec<&Op> {
+    prog.func(f).block(b).insts.iter().map(|i| &i.op).collect()
+}
+
+#[test]
+fn stub_block_has_figure7_shape() {
+    let prog = chase(300, true);
+    let (out, report) = adapt_default(&prog);
+    assert_eq!(report.slice_count(), 1);
+    let s = &report.slices[0];
+    let ops = block_ops(&out, s.trigger.func, s.stub);
+    // lib.alloc, one lib.st per live-in, budget movi + lib.st (chaining),
+    // spawn, resume br.
+    assert!(matches!(ops[0], Op::LibAlloc { .. }));
+    let st_count = ops.iter().filter(|o| matches!(o, Op::LibSt { .. })).count();
+    assert_eq!(st_count, s.live_ins.len() + 1, "live-ins plus the chain budget");
+    assert!(ops.iter().any(|o| matches!(o, Op::Movi { .. })), "budget constant");
+    assert!(ops.iter().any(|o| matches!(o, Op::Spawn { .. })));
+    assert!(matches!(ops.last().unwrap(), Op::Br { .. }), "resume branch last");
+    // The stub block is an attachment; the slice entry too.
+    assert!(out.func(s.trigger.func).block(s.stub).attachment);
+    assert!(out.func(s.trigger.func).block(s.slice_entry).attachment);
+}
+
+#[test]
+fn chaining_slice_reads_live_ins_then_frees_slot() {
+    let prog = chase(300, true);
+    let (out, report) = adapt_default(&prog);
+    let s = &report.slices[0];
+    let ops = block_ops(&out, s.trigger.func, s.slice_entry);
+    // live-in loads (one per live-in + budget), then lib.free.
+    let ld_count = ops.iter().filter(|o| matches!(o, Op::LibLd { .. })).count();
+    assert_eq!(ld_count, s.live_ins.len() + 1);
+    let free_pos = ops.iter().position(|o| matches!(o, Op::LibFree { .. })).unwrap();
+    assert!(free_pos >= ld_count, "free only after all live-ins are read");
+    // Somewhere in the slice blocks: a spawn back to the entry and a kill.
+    let func = out.func(s.trigger.func);
+    let all_attachment_ops: Vec<&Op> = func
+        .blocks
+        .iter()
+        .filter(|b| b.attachment)
+        .flat_map(|b| b.insts.iter().map(|i| &i.op))
+        .collect();
+    assert!(all_attachment_ops
+        .iter()
+        .any(|o| matches!(o, Op::Spawn { entry, .. } if *entry == s.slice_entry)));
+    assert!(all_attachment_ops.iter().any(|o| matches!(o, Op::KillThread)));
+}
+
+#[test]
+fn dead_value_root_becomes_prefetch_used_value_stays_load() {
+    // When the loaded value feeds the sum, the cloned root must stay a
+    // load; when it is dead, it must be demoted to lfetch.
+    for use_value in [true, false] {
+        let prog = chase(300, use_value);
+        let (out, report) = adapt_default(&prog);
+        let s = &report.slices[0];
+        let func = out.func(s.trigger.func);
+        let slice_ops: Vec<&Op> = func
+            .blocks
+            .iter()
+            .filter(|b| b.attachment)
+            .flat_map(|b| b.insts.iter().map(|i| &i.op))
+            .collect();
+        let lfetches = slice_ops.iter().filter(|o| matches!(o, Op::Lfetch { .. })).count();
+        assert!(
+            lfetches >= 1,
+            "use_value={use_value}: delinquent load demoted to a prefetch somewhere"
+        );
+        assert!(
+            !slice_ops.iter().any(|o| o.is_store()),
+            "slices never contain stores"
+        );
+    }
+}
+
+#[test]
+fn trigger_split_preserves_main_path() {
+    let prog = chase(300, true);
+    let (out, report) = adapt_default(&prog);
+    let s = &report.slices[0];
+    // The trigger block ends with chk.c -> br(resume); chk.c points at
+    // the stub.
+    let tb = block_ops(&out, s.trigger.func, s.trigger.block);
+    let chk_pos = tb.iter().position(|o| matches!(o, Op::ChkC { .. })).unwrap();
+    assert!(
+        matches!(tb[chk_pos], Op::ChkC { stub } if *stub == s.stub),
+        "chk.c targets this slice's stub"
+    );
+    assert!(matches!(tb[chk_pos + 1], Op::Br { .. }), "resume branch follows");
+    // The split block (resume target) is a normal main-thread block.
+    if let Op::Br { target } = tb[chk_pos + 1] {
+        assert!(!out.func(s.trigger.func).block(*target).attachment);
+    }
+}
+
+#[test]
+fn too_many_live_ins_is_skipped() {
+    // Address = sum of 16 loop-invariant registers: more live-ins than a
+    // 16-word LIB slot can carry alongside the chain budget.
+    let n = 300u64;
+    let mut pb = ProgramBuilder::new();
+    for i in 0..n {
+        pb.data_word(0x0100_0000 + 64 * i, i);
+    }
+    let mut f = pb.function("main");
+    let (e, body, exit) = (f.entry_block(), f.new_block(), f.new_block());
+    let (ptr, k, u, p) = (Reg(64), Reg(65), Reg(66), Reg(67));
+    let mut c = f.at(e).movi(ptr, 0x0100_0000).movi(k, 0x0100_0000 + (64 * n) as i64);
+    for j in 0..16u16 {
+        c = c.movi(Reg(80 + j), j as i64);
+    }
+    c.br(body);
+    let mut c = f.at(body).mov(u, ptr);
+    for j in 0..16u16 {
+        c = c.add(u, u, Operand::Reg(Reg(80 + j)));
+    }
+    c.ld(u, u, 0)
+        .add(ptr, ptr, 64)
+        .cmp(CmpKind::Lt, p, ptr, Operand::Reg(k))
+        .br_cond(p, body, exit);
+    f.at(exit).halt();
+    let main = f.finish();
+    let prog = pb.finish_with(main);
+    let (_, report) = adapt_default(&prog);
+    assert!(
+        report.slices.is_empty()
+            || report
+                .skipped
+                .iter()
+                .any(|(_, r)| matches!(r, SkipReason::TooManyLiveIns(_))),
+        "either nothing planned or explicitly skipped for live-ins: {report:?}"
+    );
+}
+
+#[test]
+fn original_program_is_untouched_by_adapt() {
+    let prog = chase(200, true);
+    let before = prog.clone();
+    let _ = adapt_default(&prog);
+    assert_eq!(prog, before, "adapt works on a clone");
+}

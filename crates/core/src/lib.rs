@@ -1,0 +1,220 @@
+//! # Post-pass binary adaptation for software-based speculative precomputation
+//!
+//! A reproduction of Liao, Wang, Wang, Hoflehner, Lavery & Shen,
+//! *"Post-Pass Binary Adaptation for Software-Based Speculative
+//! Precomputation"* (PLDI 2002).
+//!
+//! The entry point is [`PostPassTool`]: given a program (standing in for
+//! an Itanium binary — see [`ssp_ir`]) it
+//!
+//! 1. profiles the program on the modeled memory hierarchy
+//!    ([`ssp_sim::profile()`]) to find the *delinquent loads* that cause at
+//!    least 90% of cache-miss cycles,
+//! 2. extracts *p-slices* for their addresses with context-sensitive,
+//!    region-based, speculative slicing ([`ssp_slicing`]),
+//! 3. schedules each slice for basic or chaining speculative
+//!    precomputation ([`ssp_sched`]),
+//! 4. places `chk.c` triggers ([`ssp_trigger`]), and
+//! 5. emits the SSP-enhanced binary with stub and slice attachments
+//!    ([`ssp_codegen`]).
+//!
+//! The result runs on the bundled SMT research-Itanium simulator
+//! ([`ssp_sim`]) where speculative threads prefetch on otherwise idle
+//! hardware contexts.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ssp_core::{PostPassTool, MachineConfig};
+//! use ssp_ir::{ProgramBuilder, Reg, CmpKind, Operand};
+//!
+//! // A pointer-chasing loop over scattered nodes (the data image plays
+//! // the role of a binary's initialized .data section).
+//! let mut pb = ProgramBuilder::new();
+//! for i in 0..200u64 {
+//!     let perm = (i * 7919) % 200;
+//!     pb.data_word(0x0100_0000 + 64 * i, 0x0800_0000 + 64 * perm);
+//! }
+//! let mut f = pb.function("main");
+//! let (e, body, exit) = (f.entry_block(), f.new_block(), f.new_block());
+//! let (p_, k, u, v, c) = (Reg(64), Reg(65), Reg(66), Reg(67), Reg(68));
+//! f.at(e).movi(p_, 0x0100_0000).movi(k, 0x0100_0000 + 64 * 200).br(body);
+//! f.at(body)
+//!     .ld(u, p_, 0)
+//!     .ld(v, u, 0)
+//!     .add(p_, p_, 64)
+//!     .cmp(CmpKind::Lt, c, p_, Operand::Reg(k))
+//!     .br_cond(c, body, exit);
+//! f.at(exit).halt();
+//! let main = f.finish();
+//! let prog = pb.finish_with(main);
+//!
+//! let tool = PostPassTool::new(MachineConfig::in_order());
+//! let adapted = tool.run(&prog);
+//! assert!(adapted.report.slice_count() >= 1);
+//!
+//! // The SSP-enhanced binary is faster on the in-order machine.
+//! let base = ssp_sim::simulate(&prog, &MachineConfig::in_order());
+//! let ssp = ssp_sim::simulate(&adapted.program, &MachineConfig::in_order());
+//! assert!(ssp.cycles < base.cycles);
+//! ```
+
+pub use ssp_codegen::{AdaptOptions, AdaptReport, EmitOptions, SelectOptions, SkipReason};
+pub use ssp_ir::{Program, ProgramBuilder};
+pub use ssp_sched::{ScheduleOptions, SpModel};
+pub use ssp_sim::{
+    profile, simulate, speedup, CycleBreakdown, LoadStats, MachineConfig, MemoryMode,
+    PipelineKind, Profile, SimResult,
+};
+pub use ssp_slicing::SliceOptions;
+
+/// Per-benchmark slice characteristics — one row of Table 2.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SliceCharacteristics {
+    /// Benchmark/program name.
+    pub name: String,
+    /// Number of p-slices emitted.
+    pub slices: usize,
+    /// How many are interprocedural.
+    pub interprocedural: usize,
+    /// Average slice size in instructions.
+    pub average_size: f64,
+    /// Average number of live-in values.
+    pub average_live_ins: f64,
+}
+
+/// The output of the post-pass tool.
+#[derive(Clone, Debug)]
+pub struct AdaptedBinary {
+    /// The SSP-enhanced program.
+    pub program: Program,
+    /// What the tool did.
+    pub report: AdaptReport,
+    /// The profile it worked from.
+    pub profile: Profile,
+}
+
+impl AdaptedBinary {
+    /// Summarize as a Table-2 row.
+    pub fn characteristics(&self, name: &str) -> SliceCharacteristics {
+        SliceCharacteristics {
+            name: name.to_owned(),
+            slices: self.report.slice_count(),
+            interprocedural: self.report.interprocedural_count(),
+            average_size: self.report.average_size(),
+            average_live_ins: self.report.average_live_ins(),
+        }
+    }
+}
+
+/// The post-pass compilation tool (Figure 1): profile feedback in,
+/// SSP-enhanced binary out.
+#[derive(Clone, Debug)]
+pub struct PostPassTool {
+    machine: MachineConfig,
+    options: AdaptOptions,
+}
+
+impl PostPassTool {
+    /// A tool targeting the given machine model with default options.
+    pub fn new(machine: MachineConfig) -> Self {
+        PostPassTool { machine, options: AdaptOptions::default() }
+    }
+
+    /// Override the adaptation options.
+    pub fn with_options(mut self, options: AdaptOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The machine model the tool targets.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// The adaptation options in use.
+    pub fn options(&self) -> &AdaptOptions {
+        &self.options
+    }
+
+    /// Profile `prog` and adapt it (the full two-pass flow of Figure 1).
+    pub fn run(&self, prog: &Program) -> AdaptedBinary {
+        let profile = ssp_sim::profile(prog, &self.machine);
+        self.run_with_profile(prog, profile)
+    }
+
+    /// Adapt `prog` using an existing profile (e.g. shared across
+    /// machine models, as the paper does between in-order and OOO runs).
+    pub fn run_with_profile(&self, prog: &Program, profile: Profile) -> AdaptedBinary {
+        let (program, report) = ssp_codegen::adapt(prog, &profile, &self.machine, &self.options);
+        AdaptedBinary { program, report, profile }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssp_ir::{CmpKind, Operand, Reg};
+
+    fn chase(n: u64) -> Program {
+        let mut pb = ProgramBuilder::new();
+        for i in 0..n {
+            let perm = (i * 7919) % n;
+            pb.data_word(0x0100_0000 + 64 * i, 0x0800_0000 + 64 * perm);
+            pb.data_word(0x0800_0000 + 64 * perm, perm);
+        }
+        let mut f = pb.function("main");
+        let (e, body, exit) = (f.entry_block(), f.new_block(), f.new_block());
+        let (p_, k, u, v, c) = (Reg(64), Reg(65), Reg(66), Reg(67), Reg(68));
+        f.at(e).movi(p_, 0x0100_0000).movi(k, 0x0100_0000 + (64 * n) as i64).br(body);
+        f.at(body)
+            .ld(u, p_, 0)
+            .ld(v, u, 0)
+            .add(p_, p_, 64)
+            .cmp(CmpKind::Lt, c, p_, Operand::Reg(k))
+            .br_cond(c, body, exit);
+        f.at(exit).halt();
+        let main = f.finish();
+        pb.finish_with(main)
+    }
+
+    #[test]
+    fn end_to_end_tool_flow() {
+        let prog = chase(300);
+        let tool = PostPassTool::new(MachineConfig::in_order());
+        let adapted = tool.run(&prog);
+        assert!(adapted.report.slice_count() >= 1);
+        let ch = adapted.characteristics("chase");
+        assert_eq!(ch.slices, adapted.report.slice_count());
+        assert!(ch.average_size > 0.0);
+        let base = simulate(&prog, tool.machine());
+        let ssp = simulate(&adapted.program, tool.machine());
+        assert!(ssp.cycles < base.cycles, "base={} ssp={}", base.cycles, ssp.cycles);
+    }
+
+    #[test]
+    fn profile_reuse_between_models() {
+        let prog = chase(200);
+        let io = PostPassTool::new(MachineConfig::in_order());
+        let adapted_io = io.run(&prog);
+        // Same profile, different machine — the paper evaluates the same
+        // binaries on both models.
+        let ooo = PostPassTool::new(MachineConfig::out_of_order());
+        let adapted_ooo = ooo.run_with_profile(&prog, adapted_io.profile.clone());
+        assert_eq!(
+            adapted_io.report.slice_count(),
+            adapted_ooo.report.slice_count(),
+            "identical profile gives identical slices"
+        );
+    }
+
+    #[test]
+    fn options_are_respected() {
+        let prog = chase(200);
+        let mut opts = AdaptOptions::default();
+        opts.select.force_model = Some(SpModel::Basic);
+        let tool = PostPassTool::new(MachineConfig::in_order()).with_options(opts);
+        let adapted = tool.run(&prog);
+        assert!(adapted.report.slices.iter().all(|s| s.model == SpModel::Basic));
+    }
+}

@@ -1,0 +1,203 @@
+//! The static call graph, including recursion detection.
+//!
+//! Context-sensitive slicing (§3.1) builds slices "up the chain of calls on
+//! the call stack"; recursive cycles force the slice-summary fixed point
+//! (§3.1.1). Indirect calls are unresolved statically — the paper
+//! instruments them and feeds the dynamic call graph back to the slicer,
+//! which [`CallGraph::add_dynamic_edge`] supports.
+
+use crate::inst::Op;
+use crate::program::{FuncId, InstRef, Program};
+use std::collections::{HashMap, HashSet};
+
+/// A call site: the instruction plus its callee (if known).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CallSite {
+    /// Where the call instruction lives.
+    pub at: InstRef,
+    /// The callee, `None` for unresolved indirect calls.
+    pub callee: Option<FuncId>,
+}
+
+/// The program call graph.
+#[derive(Clone, Debug, Default)]
+pub struct CallGraph {
+    /// Out-edges: per function, its call sites.
+    sites: HashMap<FuncId, Vec<CallSite>>,
+    /// callee -> callers
+    callers: HashMap<FuncId, HashSet<FuncId>>,
+    /// callers -> callees (resolved only)
+    callees: HashMap<FuncId, HashSet<FuncId>>,
+}
+
+impl CallGraph {
+    /// Build the static call graph of `prog`. Indirect call sites are
+    /// recorded with `callee: None`.
+    pub fn new(prog: &Program) -> Self {
+        let mut g = CallGraph::default();
+        for (fid, func) in prog.iter_funcs() {
+            let entry = g.sites.entry(fid).or_default();
+            for (bid, block) in func.iter_blocks() {
+                for (i, inst) in block.insts.iter().enumerate() {
+                    let at = InstRef { func: fid, block: bid, idx: i };
+                    match inst.op {
+                        Op::Call { callee, .. } => {
+                            entry.push(CallSite { at, callee: Some(callee) });
+                        }
+                        Op::CallInd { .. } => {
+                            entry.push(CallSite { at, callee: None });
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        // Derive adjacency.
+        let sites = g.sites.clone();
+        for (f, ss) in &sites {
+            for s in ss {
+                if let Some(c) = s.callee {
+                    g.callees.entry(*f).or_default().insert(c);
+                    g.callers.entry(c).or_default().insert(*f);
+                }
+            }
+        }
+        g
+    }
+
+    /// Record a profiled target for an indirect call site, resolving it in
+    /// the graph ("we instrument all the indirect procedural calls to
+    /// capture the call graph during profiling").
+    pub fn add_dynamic_edge(&mut self, site: InstRef, target: FuncId) {
+        let sites = self.sites.entry(site.func).or_default();
+        // Keep the unresolved site; add a resolved twin if not present.
+        let resolved = CallSite { at: site, callee: Some(target) };
+        if !sites.contains(&resolved) {
+            sites.push(resolved);
+        }
+        self.callees.entry(site.func).or_default().insert(target);
+        self.callers.entry(target).or_default().insert(site.func);
+    }
+
+    /// Call sites inside `f`.
+    pub fn sites_in(&self, f: FuncId) -> &[CallSite] {
+        self.sites.get(&f).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Functions that call `f`.
+    pub fn callers_of(&self, f: FuncId) -> impl Iterator<Item = FuncId> + '_ {
+        self.callers.get(&f).into_iter().flatten().copied()
+    }
+
+    /// Resolved callees of `f`.
+    pub fn callees_of(&self, f: FuncId) -> impl Iterator<Item = FuncId> + '_ {
+        self.callees.get(&f).into_iter().flatten().copied()
+    }
+
+    /// Whether `f` participates in a call cycle (directly or mutually
+    /// recursive), determined by reachability `f -> ... -> f`.
+    pub fn is_recursive(&self, f: FuncId) -> bool {
+        let mut seen = HashSet::new();
+        let mut work: Vec<FuncId> = self.callees_of(f).collect();
+        while let Some(g) = work.pop() {
+            if g == f {
+                return true;
+            }
+            if seen.insert(g) {
+                work.extend(self.callees_of(g));
+            }
+        }
+        false
+    }
+
+    /// Call sites in `f` whose resolved callee is `callee`.
+    pub fn sites_calling(&self, f: FuncId, callee: FuncId) -> Vec<CallSite> {
+        self.sites_in(f).iter().filter(|s| s.callee == Some(callee)).copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::reg::Reg;
+
+    fn recursive_prog() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let main_id = pb.declare();
+        let even_id = pb.declare();
+        let odd_id = pb.declare();
+        let mut m = pb.define(main_id, "main");
+        let e = m.entry_block();
+        m.at(e).call(even_id, 1).halt();
+        let m = m.finish();
+        let mut ev = pb.define(even_id, "even");
+        let e = ev.entry_block();
+        ev.at(e).call(odd_id, 1).ret();
+        let ev = ev.finish();
+        let mut od = pb.define(odd_id, "odd");
+        let e = od.entry_block();
+        od.at(e).call(even_id, 1).ret();
+        let od = od.finish();
+        pb.install(m);
+        pb.install(ev);
+        pb.install(od);
+        pb.finish(main_id)
+    }
+
+    #[test]
+    fn detects_mutual_recursion() {
+        let prog = recursive_prog();
+        let g = CallGraph::new(&prog);
+        let main = prog.func_by_name("main").unwrap();
+        let even = prog.func_by_name("even").unwrap();
+        let odd = prog.func_by_name("odd").unwrap();
+        assert!(!g.is_recursive(main));
+        assert!(g.is_recursive(even));
+        assert!(g.is_recursive(odd));
+    }
+
+    #[test]
+    fn callers_and_callees() {
+        let prog = recursive_prog();
+        let g = CallGraph::new(&prog);
+        let main = prog.func_by_name("main").unwrap();
+        let even = prog.func_by_name("even").unwrap();
+        let odd = prog.func_by_name("odd").unwrap();
+        let callers: Vec<_> = g.callers_of(even).collect();
+        assert!(callers.contains(&main));
+        assert!(callers.contains(&odd));
+        let callees: Vec<_> = g.callees_of(even).collect();
+        assert_eq!(callees, vec![odd]);
+    }
+
+    #[test]
+    fn indirect_call_resolution() {
+        let mut pb = ProgramBuilder::new();
+        let main_id = pb.declare();
+        let target_id = pb.declare();
+        let mut m = pb.define(main_id, "main");
+        let e = m.entry_block();
+        m.at(e)
+            .movi(Reg(20), target_id.as_value() as i64)
+            .call_ind(Reg(20), 0)
+            .halt();
+        let m = m.finish();
+        let mut t = pb.define(target_id, "target");
+        let e = t.entry_block();
+        t.at(e).ret();
+        let t = t.finish();
+        pb.install(m);
+        pb.install(t);
+        let prog = pb.finish(main_id);
+        let mut g = CallGraph::new(&prog);
+        let main = prog.func_by_name("main").unwrap();
+        let target = prog.func_by_name("target").unwrap();
+        // Statically unresolved.
+        assert_eq!(g.callees_of(main).count(), 0);
+        let site = g.sites_in(main).iter().find(|s| s.callee.is_none()).unwrap().at;
+        g.add_dynamic_edge(site, target);
+        assert_eq!(g.callees_of(main).collect::<Vec<_>>(), vec![target]);
+        assert_eq!(g.callers_of(target).collect::<Vec<_>>(), vec![main]);
+    }
+}

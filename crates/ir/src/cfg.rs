@@ -1,0 +1,176 @@
+//! Control-flow graph views over a [`Function`].
+
+use crate::program::{BlockId, Function};
+
+/// Predecessor/successor adjacency plus traversal orders for one function.
+///
+/// Attachment blocks (stub/slice blocks appended by the post-pass tool) are
+/// included in the adjacency arrays — their internal edges are real — but a
+/// `ChkC` exception edge or `Spawn` entry is never a CFG edge, so they stay
+/// unreachable from the entry and are excluded from [`Cfg::rpo`].
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+    rpo: Vec<BlockId>,
+    rpo_pos: Vec<Option<usize>>,
+}
+
+impl Cfg {
+    /// Compute the CFG of `func`.
+    pub fn new(func: &Function) -> Self {
+        let n = func.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for (bid, block) in func.iter_blocks() {
+            if let Some(last) = block.insts.last() {
+                for t in last.op.branch_targets() {
+                    succs[bid.index()].push(t);
+                    preds[t.index()].push(bid);
+                }
+            }
+        }
+        // Depth-first post-order from the entry, reversed.
+        let mut visited = vec![false; n];
+        let mut post = Vec::with_capacity(n);
+        // Iterative DFS with explicit (block, next-successor-index) stack.
+        let mut stack: Vec<(BlockId, usize)> = vec![(func.entry, 0)];
+        visited[func.entry.index()] = true;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            if *i < succs[b.index()].len() {
+                let s = succs[b.index()][*i];
+                *i += 1;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        let mut rpo_pos = vec![None; n];
+        for (i, &b) in post.iter().enumerate() {
+            rpo_pos[b.index()] = Some(i);
+        }
+        Cfg { succs, preds, rpo: post, rpo_pos }
+    }
+
+    /// Successor blocks of `b`.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Predecessor blocks of `b`.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Blocks reachable from the entry, in reverse post-order.
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Position of `b` in the reverse post-order, or `None` if `b` is
+    /// unreachable from the entry (e.g. an attachment block).
+    pub fn rpo_pos(&self, b: BlockId) -> Option<usize> {
+        self.rpo_pos[b.index()]
+    }
+
+    /// Whether `b` is reachable from the function entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_pos(b).is_some()
+    }
+
+    /// Number of blocks (reachable or not).
+    pub fn num_blocks(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// All edges `(from, to)` between reachable blocks.
+    pub fn edges(&self) -> Vec<(BlockId, BlockId)> {
+        let mut v = Vec::new();
+        for &b in &self.rpo {
+            for &s in self.succs(b) {
+                v.push((b, s));
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::reg::Reg;
+
+    /// entry -> body -> body|exit  (simple loop)
+    fn loop_func() -> crate::program::Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.at(e).movi(Reg(1), 0).br(body);
+        f.at(body)
+            .add(Reg(1), Reg(1), 1)
+            .cmp(crate::inst::CmpKind::Lt, Reg(2), Reg(1), 10)
+            .br_cond(Reg(2), body, exit);
+        f.at(exit).halt();
+        let main = f.finish();
+        pb.finish_with(main)
+    }
+
+    #[test]
+    fn loop_edges() {
+        let prog = loop_func();
+        let cfg = Cfg::new(prog.func(prog.entry));
+        assert_eq!(cfg.succs(BlockId(0)), &[BlockId(1)]);
+        assert_eq!(cfg.succs(BlockId(1)), &[BlockId(1), BlockId(2)]);
+        assert!(cfg.preds(BlockId(1)).contains(&BlockId(0)));
+        assert!(cfg.preds(BlockId(1)).contains(&BlockId(1)));
+        assert_eq!(cfg.rpo()[0], BlockId(0));
+        assert_eq!(cfg.rpo().len(), 3);
+    }
+
+    #[test]
+    fn unreachable_block_not_in_rpo() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        let orphan = f.new_block();
+        f.at(e).halt();
+        f.at(orphan).kill_thread();
+        let main = f.finish();
+        let prog = pb.finish_with(main);
+        let cfg = Cfg::new(prog.func(prog.entry));
+        assert!(cfg.is_reachable(BlockId(0)));
+        assert!(!cfg.is_reachable(orphan));
+        assert_eq!(cfg.rpo().len(), 1);
+    }
+
+    #[test]
+    fn rpo_respects_topological_order_on_dag() {
+        // diamond: 0 -> 1,2 -> 3
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        let l = f.new_block();
+        let r = f.new_block();
+        let j = f.new_block();
+        f.at(e).movi(Reg(1), 1).br_cond(Reg(1), l, r);
+        f.at(l).br(j);
+        f.at(r).br(j);
+        f.at(j).halt();
+        let main = f.finish();
+        let prog = pb.finish_with(main);
+        let cfg = Cfg::new(prog.func(prog.entry));
+        let pos = |b: BlockId| cfg.rpo_pos(b).unwrap();
+        assert!(pos(e) < pos(l));
+        assert!(pos(e) < pos(r));
+        assert!(pos(l) < pos(j));
+        assert!(pos(r) < pos(j));
+    }
+}

@@ -1,0 +1,119 @@
+//! Human-readable disassembly-style printing of programs.
+
+use crate::inst::{AluKind, CmpKind, FAluKind, Op};
+use crate::program::{Function, Program};
+use std::fmt;
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Movi { dst, imm } => write!(f, "movi  {dst} = {imm}"),
+            Op::Mov { dst, src } => write!(f, "mov   {dst} = {src}"),
+            Op::Alu { kind, dst, a, b } => {
+                let k = match kind {
+                    AluKind::Add => "add",
+                    AluKind::Sub => "sub",
+                    AluKind::Mul => "mul",
+                    AluKind::And => "and",
+                    AluKind::Or => "or",
+                    AluKind::Xor => "xor",
+                    AluKind::Shl => "shl",
+                    AluKind::Shr => "shr",
+                };
+                write!(f, "{k:<5} {dst} = {a}, {b}")
+            }
+            Op::Cmp { kind, dst, a, b } => {
+                let k = match kind {
+                    CmpKind::Eq => "eq",
+                    CmpKind::Ne => "ne",
+                    CmpKind::Lt => "lt",
+                    CmpKind::Le => "le",
+                    CmpKind::Gt => "gt",
+                    CmpKind::Ge => "ge",
+                    CmpKind::SLt => "slt",
+                    CmpKind::SGt => "sgt",
+                };
+                write!(f, "cmp.{k:<3} {dst} = {a}, {b}")
+            }
+            Op::FAlu { kind, dst, a, b } => {
+                let k = match kind {
+                    FAluKind::Add => "fadd",
+                    FAluKind::Sub => "fsub",
+                    FAluKind::Mul => "fmul",
+                };
+                write!(f, "{k:<5} {dst} = {a}, {b}")
+            }
+            Op::Ld { dst, base, off } => write!(f, "ld8   {dst} = [{base}+{off}]"),
+            Op::St { src, base, off } => write!(f, "st8   [{base}+{off}] = {src}"),
+            Op::Lfetch { base, off } => write!(f, "lfetch [{base}+{off}]"),
+            Op::Br { target } => write!(f, "br    {target}"),
+            Op::BrCond { pred, if_true, if_false } => {
+                write!(f, "br.cond {pred} ? {if_true} : {if_false}")
+            }
+            Op::Call { callee, nargs } => write!(f, "call  {callee} ({nargs} args)"),
+            Op::CallInd { target, nargs } => write!(f, "call  [{target}] ({nargs} args)"),
+            Op::Ret => write!(f, "ret"),
+            Op::ChkC { stub } => write!(f, "chk.c {stub}"),
+            Op::Spawn { entry, slot } => write!(f, "spawn {entry}, slot={slot}"),
+            Op::LibAlloc { dst } => write!(f, "lib.alloc {dst}"),
+            Op::LibSt { slot, idx, src } => write!(f, "lib.st [{slot}:{idx}] = {src}"),
+            Op::LibLd { dst, slot, idx } => write!(f, "lib.ld {dst} = [{slot}:{idx}]"),
+            Op::LibFree { slot } => write!(f, "lib.free {slot}"),
+            Op::KillThread => write!(f, "thread.kill.self"),
+            Op::RoiBegin => write!(f, "roi.begin"),
+            Op::RoiEnd => write!(f, "roi.end"),
+            Op::Halt => write!(f, "halt"),
+            Op::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "func {}:", self.name)?;
+        for (bid, block) in self.iter_blocks() {
+            let marker = if block.attachment { " (attachment)" } else { "" };
+            writeln!(f, "  {bid}:{marker}")?;
+            for inst in &block.insts {
+                writeln!(f, "    {:>6}  {}", inst.tag.to_string(), inst.op)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "program (entry {}):", self.entry)?;
+        for (fid, func) in self.iter_funcs() {
+            writeln!(f, "; {fid}")?;
+            write!(f, "{func}")?;
+        }
+        if !self.image.is_empty() {
+            writeln!(f, "; data image: {} words", self.image.len())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::ProgramBuilder;
+    use crate::reg::Reg;
+
+    #[test]
+    fn display_is_nonempty_and_contains_opcodes() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        f.at(e).movi(Reg(1), 7).ld(Reg(2), Reg(1), 8).st(Reg(2), Reg(1), 16).halt();
+        let main = f.finish();
+        let prog = pb.finish_with(main);
+        let s = prog.to_string();
+        assert!(s.contains("func main"));
+        assert!(s.contains("movi"));
+        assert!(s.contains("ld8"));
+        assert!(s.contains("st8"));
+        assert!(s.contains("halt"));
+    }
+}

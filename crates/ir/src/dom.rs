@@ -1,0 +1,332 @@
+//! Dominator and post-dominator trees via the Cooper–Harvey–Kennedy
+//! iterative algorithm.
+//!
+//! The trigger-placement pass (§3.3) "maintains control dominance
+//! information intra-procedurally" and hoists triggers to immediate
+//! dominators; the slicer derives control dependences from the
+//! post-dominance frontier.
+
+use crate::cfg::Cfg;
+use crate::program::{BlockId, Function};
+
+/// A dominator tree over the reachable blocks of one function.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// `idom[b] == Some(d)`: `d` immediately dominates `b`. The root has
+    /// `idom == None`, as do unreachable blocks.
+    idom: Vec<Option<BlockId>>,
+    root: BlockId,
+}
+
+impl DomTree {
+    /// Dominators of the forward CFG rooted at the function entry.
+    pub fn dominators(func: &Function, cfg: &Cfg) -> Self {
+        let order: Vec<BlockId> = cfg.rpo().to_vec();
+        let pos = |b: BlockId| cfg.rpo_pos(b);
+        Self::build(func.blocks.len(), func.entry, &order, pos, |b| cfg.preds(b).to_vec())
+    }
+
+    /// Post-dominators: dominators of the reverse CFG. Because functions
+    /// can have several exits (`Ret`, `Halt`, `KillThread`) we root the
+    /// reverse graph at a virtual exit; blocks whose immediate
+    /// post-dominator is the virtual exit report `None` as their parent
+    /// but still count as reachable.
+    pub fn post_dominators(func: &Function, cfg: &Cfg) -> Self {
+        let n = func.blocks.len();
+        let virtual_exit = BlockId(n as u32);
+        // Reverse adjacency: succ in reverse graph = pred in forward graph.
+        let mut rsuccs: Vec<Vec<BlockId>> = vec![Vec::new(); n + 1];
+        let mut rpreds: Vec<Vec<BlockId>> = vec![Vec::new(); n + 1];
+        for &b in cfg.rpo() {
+            let term = func.block(b).terminator();
+            if term.branch_targets().is_empty() {
+                // An exit block: edge virtual_exit -> b in the reverse graph.
+                rsuccs[virtual_exit.index()].push(b);
+                rpreds[b.index()].push(virtual_exit);
+            }
+            for &s in cfg.succs(b) {
+                rsuccs[s.index()].push(b);
+                rpreds[b.index()].push(s);
+            }
+        }
+        // RPO of the reverse graph from the virtual exit.
+        let mut visited = vec![false; n + 1];
+        let mut post = Vec::new();
+        let mut stack = vec![(virtual_exit, 0usize)];
+        visited[virtual_exit.index()] = true;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            if *i < rsuccs[b.index()].len() {
+                let s = rsuccs[b.index()][*i];
+                *i += 1;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        let mut pos = vec![None; n + 1];
+        for (i, &b) in post.iter().enumerate() {
+            pos[b.index()] = Some(i);
+        }
+        let mut tree = Self::build(
+            n + 1,
+            virtual_exit,
+            &post,
+            |b| pos[b.index()],
+            |b| rpreds[b.index()].clone(),
+        );
+        // Clip the virtual exit out of the public view: parents pointing at
+        // it become None.
+        for p in tree.idom.iter_mut() {
+            if *p == Some(virtual_exit) {
+                *p = None;
+            }
+        }
+        tree.idom.truncate(n);
+        tree.root = virtual_exit; // no single real root; kept private
+        tree
+    }
+
+    fn build(
+        n: usize,
+        root: BlockId,
+        order: &[BlockId],
+        pos: impl Fn(BlockId) -> Option<usize>,
+        preds: impl Fn(BlockId) -> Vec<BlockId>,
+    ) -> Self {
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[root.index()] = Some(root);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in order.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for p in preds(b) {
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &pos, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        idom[root.index()] = None; // root has no parent in the public view
+        DomTree { idom, root }
+    }
+
+    /// The immediate dominator of `b` (`None` for the root and for
+    /// unreachable blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom.get(b.index()).copied().flatten()
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(p) => cur = p,
+                None => return false,
+            }
+        }
+    }
+
+    /// The path from `b` up to the root, inclusive of `b`.
+    pub fn ancestors(&self, b: BlockId) -> Vec<BlockId> {
+        let mut v = vec![b];
+        let mut cur = b;
+        while let Some(p) = self.idom(cur) {
+            v.push(p);
+            cur = p;
+        }
+        v
+    }
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    pos: &impl Fn(BlockId) -> Option<usize>,
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    loop {
+        let (pa, pb) = match (pos(a), pos(b)) {
+            (Some(x), Some(y)) => (x, y),
+            // One side not in the traversal order: fall back to the other.
+            _ => return if pos(a).is_some() { a } else { b },
+        };
+        if pa == pb {
+            return a;
+        }
+        if pa > pb {
+            a = idom[a.index()].expect("processed block must have idom");
+        } else {
+            b = idom[b.index()].expect("processed block must have idom");
+        }
+    }
+}
+
+/// Control dependence: block `b` is control dependent on branch block `c`
+/// when `c` decides whether `b` executes. Computed per Ferrante–Ottenstein–
+/// Warren from the post-dominance relation: `b` is control dependent on `c`
+/// iff `c` has a successor post-dominated by `b` and a successor not
+/// post-dominated by `b` (with `b != c` or loop-carried self dependence).
+pub fn control_deps(func: &Function, cfg: &Cfg) -> Vec<Vec<BlockId>> {
+    let pdom = DomTree::post_dominators(func, cfg);
+    let n = func.blocks.len();
+    let mut deps: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+    for &c in cfg.rpo() {
+        let succs = cfg.succs(c);
+        if succs.len() < 2 {
+            continue;
+        }
+        for &s in succs {
+            // Walk the post-dominator chain from s up to (but excluding)
+            // c's post-dominator parent; every block on it is control
+            // dependent on c.
+            let stop = pdom.idom(c);
+            let mut cur = Some(s);
+            while let Some(b) = cur {
+                if Some(b) == stop {
+                    break;
+                }
+                if !deps[b.index()].contains(&c) {
+                    deps[b.index()].push(c);
+                }
+                if b == c {
+                    break; // self-dependence (loop) — stop climbing
+                }
+                cur = pdom.idom(b);
+            }
+        }
+    }
+    deps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::cfg::Cfg;
+    use crate::inst::CmpKind;
+    use crate::program::Program;
+    use crate::reg::Reg;
+
+    /// 0 -> 1,2 ; 1 -> 3 ; 2 -> 3 ; 3: halt   (diamond)
+    fn diamond() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        let l = f.new_block();
+        let r = f.new_block();
+        let j = f.new_block();
+        f.at(e).cmp(CmpKind::Lt, Reg(1), Reg(2), 5).br_cond(Reg(1), l, r);
+        f.at(l).movi(Reg(3), 1).br(j);
+        f.at(r).movi(Reg(3), 2).br(j);
+        f.at(j).halt();
+        let main = f.finish();
+        pb.finish_with(main)
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let prog = diamond();
+        let func = prog.func(prog.entry);
+        let cfg = Cfg::new(func);
+        let dom = DomTree::dominators(func, &cfg);
+        assert_eq!(dom.idom(BlockId(0)), None);
+        assert_eq!(dom.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(2)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(0)));
+        assert!(dom.dominates(BlockId(0), BlockId(3)));
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+        assert!(dom.dominates(BlockId(3), BlockId(3)));
+    }
+
+    #[test]
+    fn diamond_post_dominators() {
+        let prog = diamond();
+        let func = prog.func(prog.entry);
+        let cfg = Cfg::new(func);
+        let pdom = DomTree::post_dominators(func, &cfg);
+        assert_eq!(pdom.idom(BlockId(0)), Some(BlockId(3)));
+        assert_eq!(pdom.idom(BlockId(1)), Some(BlockId(3)));
+        assert_eq!(pdom.idom(BlockId(2)), Some(BlockId(3)));
+        assert_eq!(pdom.idom(BlockId(3)), None);
+    }
+
+    #[test]
+    fn diamond_control_deps() {
+        let prog = diamond();
+        let func = prog.func(prog.entry);
+        let cfg = Cfg::new(func);
+        let deps = control_deps(func, &cfg);
+        assert_eq!(deps[1], vec![BlockId(0)], "then-arm depends on branch");
+        assert_eq!(deps[2], vec![BlockId(0)], "else-arm depends on branch");
+        assert!(deps[3].is_empty(), "join depends on nothing");
+        assert!(deps[0].is_empty());
+    }
+
+    #[test]
+    fn loop_control_dep_is_self() {
+        // 0 -> 1 ; 1 -> 1,2 ; 2: halt
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.at(e).movi(Reg(1), 0).br(body);
+        f.at(body)
+            .add(Reg(1), Reg(1), 1)
+            .cmp(CmpKind::Lt, Reg(2), Reg(1), 10)
+            .br_cond(Reg(2), body, exit);
+        f.at(exit).halt();
+        let main = f.finish();
+        let prog = pb.finish_with(main);
+        let func = prog.func(prog.entry);
+        let cfg = Cfg::new(func);
+        let deps = control_deps(func, &cfg);
+        assert_eq!(deps[1], vec![BlockId(1)], "loop body controls its own repetition");
+    }
+
+    #[test]
+    fn nested_branch_dominators() {
+        // 0 -> 1,4 ; 1 -> 2,3 ; 2 -> 3 ; 3 -> 4 ; 4: halt
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let b0 = f.entry_block();
+        let b1 = f.new_block();
+        let b2 = f.new_block();
+        let b3 = f.new_block();
+        let b4 = f.new_block();
+        f.at(b0).cmp(CmpKind::Lt, Reg(1), Reg(2), 5).br_cond(Reg(1), b1, b4);
+        f.at(b1).cmp(CmpKind::Lt, Reg(1), Reg(2), 3).br_cond(Reg(1), b2, b3);
+        f.at(b2).br(b3);
+        f.at(b3).br(b4);
+        f.at(b4).halt();
+        let main = f.finish();
+        let prog = pb.finish_with(main);
+        let func = prog.func(prog.entry);
+        let cfg = Cfg::new(func);
+        let dom = DomTree::dominators(func, &cfg);
+        assert_eq!(dom.idom(b2), Some(b1));
+        assert_eq!(dom.idom(b3), Some(b1));
+        assert_eq!(dom.idom(b4), Some(b0));
+        assert_eq!(dom.ancestors(b2), vec![b2, b1, b0]);
+    }
+}

@@ -1,0 +1,261 @@
+//! Programs, functions, and basic blocks.
+
+use crate::inst::{Inst, InstTag, Op};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a function within a [`Program`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FuncId(pub u32);
+
+impl FuncId {
+    /// Encode the function id as a register value, for indirect calls.
+    pub fn as_value(self) -> u64 {
+        // Offset into a range no data address uses, so stray arithmetic on
+        // function "addresses" is caught by the verifier of the simulator.
+        0xF000_0000_0000_0000 | u64::from(self.0)
+    }
+
+    /// Decode a register value produced by [`FuncId::as_value`].
+    pub fn from_value(v: u64) -> Option<FuncId> {
+        if v & 0xF000_0000_0000_0000 == 0xF000_0000_0000_0000 {
+            Some(FuncId((v & 0xFFFF_FFFF) as u32))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Index of a basic block within a [`Function`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The block's index into [`Function::blocks`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// A precise location of a static instruction: function, block, and index
+/// within the block.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct InstRef {
+    /// Containing function.
+    pub func: FuncId,
+    /// Containing block.
+    pub block: BlockId,
+    /// Index within [`Block::insts`].
+    pub idx: usize,
+}
+
+impl fmt::Display for InstRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.func, self.block, self.idx)
+    }
+}
+
+/// A basic block: straight-line instructions ending in one terminator.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Block {
+    /// The instructions; the last one is the terminator.
+    pub insts: Vec<Inst>,
+    /// True for blocks appended by the post-pass tool (stub and slice
+    /// blocks, Figure 7): unreachable from the function entry via normal
+    /// control flow and excluded from main-thread CFG analyses.
+    pub attachment: bool,
+}
+
+impl Block {
+    /// The block's terminator operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is empty (not verified yet).
+    pub fn terminator(&self) -> &Op {
+        &self.insts.last().expect("empty block has no terminator").op
+    }
+}
+
+/// A function: basic blocks plus an entry block.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Function {
+    /// Human-readable name.
+    pub name: String,
+    /// Basic blocks, indexed by [`BlockId`].
+    pub blocks: Vec<Block>,
+    /// The entry block (always `BlockId(0)` for builder-made functions).
+    pub entry: BlockId,
+}
+
+impl Function {
+    /// The block with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutable access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Iterate over `(BlockId, &Block)` pairs.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks.iter().enumerate().map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    /// Total number of instructions in the function.
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+}
+
+/// A whole program: the unit the post-pass tool adapts.
+///
+/// Standing in for a linked binary, a program carries its functions, the
+/// entry function, an initialized-data image (like a `.data` section), and
+/// the tag counter used to mint fresh [`InstTag`]s during adaptation.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Program {
+    /// All functions, indexed by [`FuncId`].
+    pub funcs: Vec<Function>,
+    /// The function where execution starts.
+    pub entry: FuncId,
+    /// Initialized memory: `(byte address, 64-bit word)` pairs. Addresses
+    /// must be 8-byte aligned.
+    pub image: Vec<(u64, u64)>,
+    /// Next unused instruction-tag value.
+    pub next_tag: u32,
+}
+
+impl Program {
+    /// The function with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.0 as usize]
+    }
+
+    /// Mutable access to a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn func_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.funcs[id.0 as usize]
+    }
+
+    /// Iterate over `(FuncId, &Function)` pairs.
+    pub fn iter_funcs(&self) -> impl Iterator<Item = (FuncId, &Function)> {
+        self.funcs.iter().enumerate().map(|(i, f)| (FuncId(i as u32), f))
+    }
+
+    /// Look up a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.funcs.iter().position(|f| f.name == name).map(|i| FuncId(i as u32))
+    }
+
+    /// Mint a fresh instruction tag.
+    pub fn fresh_tag(&mut self) -> InstTag {
+        let t = InstTag(self.next_tag);
+        self.next_tag += 1;
+        t
+    }
+
+    /// The instruction at `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component of `r` is out of range.
+    pub fn inst(&self, r: InstRef) -> &Inst {
+        &self.func(r.func).block(r.block).insts[r.idx]
+    }
+
+    /// Total number of static instructions in the program.
+    pub fn inst_count(&self) -> usize {
+        self.funcs.iter().map(Function::inst_count).sum()
+    }
+
+    /// Build a map from tag to location, for profile-driven analyses.
+    /// Later duplicates (same tag emitted twice, which the verifier
+    /// rejects) would overwrite earlier ones.
+    pub fn tag_index(&self) -> HashMap<InstTag, InstRef> {
+        let mut m = HashMap::new();
+        for (fid, f) in self.iter_funcs() {
+            for (bid, b) in f.iter_blocks() {
+                for (i, inst) in b.insts.iter().enumerate() {
+                    m.insert(inst.tag, InstRef { func: fid, block: bid, idx: i });
+                }
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::reg::Reg;
+
+    #[test]
+    fn func_id_value_roundtrip() {
+        for i in [0u32, 1, 77, u32::MAX] {
+            let f = FuncId(i);
+            assert_eq!(FuncId::from_value(f.as_value()), Some(f));
+        }
+        assert_eq!(FuncId::from_value(0x1000), None);
+        assert_eq!(FuncId::from_value(0), None);
+    }
+
+    #[test]
+    fn tag_index_finds_all() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        f.at(e).movi(Reg(1), 1).movi(Reg(2), 2).halt();
+        let main = f.finish();
+        let prog = pb.finish_with(main);
+        let idx = prog.tag_index();
+        assert_eq!(idx.len(), prog.inst_count());
+        for (tag, r) in &idx {
+            assert_eq!(prog.inst(*r).tag, *tag);
+        }
+    }
+
+    #[test]
+    fn fresh_tags_are_unique() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        f.at(e).halt();
+        let main = f.finish();
+        let mut prog = pb.finish_with(main);
+        let a = prog.fresh_tag();
+        let b = prog.fresh_tag();
+        assert_ne!(a, b);
+        assert!(!prog.tag_index().contains_key(&a));
+    }
+}

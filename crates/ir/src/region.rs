@@ -1,0 +1,316 @@
+//! The hierarchical region graph of §3.1.1.
+//!
+//! "A region represents a loop, a loop body, or a procedure in the program.
+//! Derived using CFG information, a region graph is a hierarchical program
+//! representation that uses edges to connect a parent region to its child
+//! regions, that is, from callers to callees, and from an outer scope to an
+//! inner scope."
+//!
+//! Region-based slicing walks this graph outward from the innermost region
+//! containing a delinquent load, growing the slice until the slack is large
+//! enough; region/model selection (§3.4.1) walks the same chain computing
+//! reduced miss cycles per region.
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::loops::{LoopForest, LoopId};
+use crate::program::{BlockId, FuncId, Program};
+use std::collections::HashMap;
+
+/// Index of a region in a [`RegionGraph`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RegionId(pub u32);
+
+/// What a region is.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RegionKind {
+    /// A whole procedure.
+    Procedure(FuncId),
+    /// A natural loop (all iterations).
+    Loop(FuncId, LoopId),
+    /// One iteration of a loop — its body. Chaining SP assigns "one
+    /// chaining thread to one iteration in a loop region" (§3.2.1), so the
+    /// loop body is the unit a slice is extracted from.
+    LoopBody(FuncId, LoopId),
+}
+
+impl RegionKind {
+    /// The function this region belongs to.
+    pub fn func(self) -> FuncId {
+        match self {
+            RegionKind::Procedure(f) | RegionKind::Loop(f, _) | RegionKind::LoopBody(f, _) => f,
+        }
+    }
+}
+
+/// One region node.
+#[derive(Clone, Debug)]
+pub struct Region {
+    /// The region's kind and position.
+    pub kind: RegionKind,
+    /// Blocks belonging to this region (for a loop body, same blocks as
+    /// the loop; the distinction is iteration count, not extent).
+    pub blocks: Vec<BlockId>,
+    /// The enclosing region in the same function, if any.
+    pub parent: Option<RegionId>,
+    /// Inner scopes: nested loops (and for a procedure, its outermost
+    /// loops).
+    pub children: Vec<RegionId>,
+    /// Regions of procedures called from inside this region (parent→child
+    /// edges "from callers to callees").
+    pub callees: Vec<RegionId>,
+}
+
+/// The program-wide region graph.
+#[derive(Clone, Debug)]
+pub struct RegionGraph {
+    regions: Vec<Region>,
+    proc_region: HashMap<FuncId, RegionId>,
+    loop_region: HashMap<(FuncId, LoopId), RegionId>,
+    body_region: HashMap<(FuncId, LoopId), RegionId>,
+}
+
+impl RegionGraph {
+    /// Build the region graph for a whole program. Attachment blocks are
+    /// ignored (they are not part of the main thread's regions).
+    pub fn new(prog: &Program) -> Self {
+        let mut g = RegionGraph {
+            regions: Vec::new(),
+            proc_region: HashMap::new(),
+            loop_region: HashMap::new(),
+            body_region: HashMap::new(),
+        };
+        // Pass 1: create nodes per function.
+        for (fid, func) in prog.iter_funcs() {
+            let cfg = Cfg::new(func);
+            let dom = DomTree::dominators(func, &cfg);
+            let loops = LoopForest::new(func, &cfg, &dom);
+
+            let proc_id = g.push(Region {
+                kind: RegionKind::Procedure(fid),
+                blocks: cfg.rpo().to_vec(),
+                parent: None,
+                children: Vec::new(),
+                callees: Vec::new(),
+            });
+            g.proc_region.insert(fid, proc_id);
+
+            // Loop + loop-body regions.
+            for (lid, l) in loops.iter() {
+                let loop_rid = g.push(Region {
+                    kind: RegionKind::Loop(fid, lid),
+                    blocks: l.blocks.clone(),
+                    parent: None, // fixed up below
+                    children: Vec::new(),
+                    callees: Vec::new(),
+                });
+                g.loop_region.insert((fid, lid), loop_rid);
+                let body_rid = g.push(Region {
+                    kind: RegionKind::LoopBody(fid, lid),
+                    blocks: l.blocks.clone(),
+                    parent: Some(loop_rid),
+                    children: Vec::new(),
+                    callees: Vec::new(),
+                });
+                g.body_region.insert((fid, lid), body_rid);
+                g.regions[loop_rid.0 as usize].children.push(body_rid);
+            }
+            // Parent links: a loop's parent is its enclosing loop's *body*
+            // region (one iteration of the outer loop contains the whole
+            // inner loop), or the procedure if outermost.
+            for (lid, l) in loops.iter() {
+                let loop_rid = g.loop_region[&(fid, lid)];
+                let parent_rid = match l.parent {
+                    Some(p) => g.body_region[&(fid, p)],
+                    None => proc_id,
+                };
+                g.regions[loop_rid.0 as usize].parent = Some(parent_rid);
+                g.regions[parent_rid.0 as usize].children.push(loop_rid);
+            }
+        }
+        // Pass 2: call edges. A call inside block b of function f links the
+        // innermost region containing b to the callee's procedure region.
+        for (fid, func) in prog.iter_funcs() {
+            let cfg = Cfg::new(func);
+            let dom = DomTree::dominators(func, &cfg);
+            let loops = LoopForest::new(func, &cfg, &dom);
+            for (bid, block) in func.iter_blocks() {
+                if block.attachment || !cfg.is_reachable(bid) {
+                    continue;
+                }
+                for inst in &block.insts {
+                    if let crate::inst::Op::Call { callee, .. } = inst.op {
+                        let caller_region = match loops.innermost(bid) {
+                            Some(l) => g.body_region[&(fid, l)],
+                            None => g.proc_region[&fid],
+                        };
+                        let callee_region = g.proc_region[&callee];
+                        let cr = &mut g.regions[caller_region.0 as usize];
+                        if !cr.callees.contains(&callee_region) {
+                            cr.callees.push(callee_region);
+                        }
+                    }
+                    // Indirect calls are resolved during profiling; the
+                    // static graph omits them (speculative slicing adds
+                    // profiled targets later).
+                }
+            }
+        }
+        g
+    }
+
+    fn push(&mut self, r: Region) -> RegionId {
+        let id = RegionId(self.regions.len() as u32);
+        self.regions.push(r);
+        id
+    }
+
+    /// The region with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn get(&self, id: RegionId) -> &Region {
+        &self.regions[id.0 as usize]
+    }
+
+    /// The procedure region of `f`.
+    pub fn procedure(&self, f: FuncId) -> Option<RegionId> {
+        self.proc_region.get(&f).copied()
+    }
+
+    /// The loop region for `(f, l)`.
+    pub fn loop_region(&self, f: FuncId, l: LoopId) -> Option<RegionId> {
+        self.loop_region.get(&(f, l)).copied()
+    }
+
+    /// The loop-body region for `(f, l)`.
+    pub fn loop_body(&self, f: FuncId, l: LoopId) -> Option<RegionId> {
+        self.body_region.get(&(f, l)).copied()
+    }
+
+    /// The innermost region containing block `b` of function `f`
+    /// (a loop-body region when `b` is inside a loop, else the procedure).
+    pub fn innermost_for(&self, prog: &Program, f: FuncId, b: BlockId) -> RegionId {
+        let func = prog.func(f);
+        let cfg = Cfg::new(func);
+        let dom = DomTree::dominators(func, &cfg);
+        let loops = LoopForest::new(func, &cfg, &dom);
+        match loops.innermost(b) {
+            Some(l) => self.body_region[&(f, l)],
+            None => self.proc_region[&f],
+        }
+    }
+
+    /// Walk outward: the chain of regions from `r` to the procedure root,
+    /// inclusive.
+    pub fn outward_chain(&self, r: RegionId) -> Vec<RegionId> {
+        let mut v = vec![r];
+        let mut cur = r;
+        while let Some(p) = self.get(cur).parent {
+            v.push(p);
+            cur = p;
+        }
+        v
+    }
+
+    /// Total number of regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Whether the graph is empty (no functions).
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// Iterate over all regions.
+    pub fn iter(&self) -> impl Iterator<Item = (RegionId, &Region)> {
+        self.regions.iter().enumerate().map(|(i, r)| (RegionId(i as u32), r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::inst::CmpKind;
+    use crate::reg::Reg;
+
+    /// main: loop calling helper() each iteration; helper: straight-line.
+    fn prog_with_call_in_loop() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let main_id = pb.declare();
+        let helper_id = pb.declare();
+        let mut m = pb.define(main_id, "main");
+        let e = m.entry_block();
+        let body = m.new_block();
+        let exit = m.new_block();
+        m.at(e).movi(Reg(64), 0).br(body);
+        m.at(body)
+            .call(helper_id, 0)
+            .add(Reg(64), Reg(64), 1)
+            .cmp(CmpKind::Lt, Reg(2), Reg(64), 10)
+            .br_cond(Reg(2), body, exit);
+        m.at(exit).halt();
+        let m = m.finish();
+        let mut h = pb.define(helper_id, "helper");
+        let he = h.entry_block();
+        h.at(he).movi(Reg(8), 7).ret();
+        let h = h.finish();
+        pb.install(m);
+        pb.install(h);
+        pb.finish(main_id)
+    }
+
+    #[test]
+    fn builds_procedure_loop_body_nodes() {
+        let prog = prog_with_call_in_loop();
+        let g = RegionGraph::new(&prog);
+        // main: 1 proc + 1 loop + 1 body; helper: 1 proc.
+        assert_eq!(g.len(), 4);
+        let main = prog.func_by_name("main").unwrap();
+        let proc = g.procedure(main).unwrap();
+        assert_eq!(g.get(proc).children.len(), 1, "one outermost loop");
+        let loop_rid = g.get(proc).children[0];
+        assert!(matches!(g.get(loop_rid).kind, RegionKind::Loop(..)));
+        let body_rid = g.get(loop_rid).children[0];
+        assert!(matches!(g.get(body_rid).kind, RegionKind::LoopBody(..)));
+    }
+
+    #[test]
+    fn call_edge_from_loop_body_to_callee() {
+        let prog = prog_with_call_in_loop();
+        let g = RegionGraph::new(&prog);
+        let main = prog.func_by_name("main").unwrap();
+        let helper = prog.func_by_name("helper").unwrap();
+        let helper_proc = g.procedure(helper).unwrap();
+        let proc = g.procedure(main).unwrap();
+        let loop_rid = g.get(proc).children[0];
+        let body_rid = g.get(loop_rid).children[0];
+        assert_eq!(g.get(body_rid).callees, vec![helper_proc]);
+        assert!(g.get(proc).callees.is_empty(), "call is in the loop, not proc top level");
+    }
+
+    #[test]
+    fn outward_chain_reaches_procedure() {
+        let prog = prog_with_call_in_loop();
+        let g = RegionGraph::new(&prog);
+        let main = prog.func_by_name("main").unwrap();
+        let inner = g.innermost_for(&prog, main, BlockId(1));
+        let chain = g.outward_chain(inner);
+        assert_eq!(chain.len(), 3, "body -> loop -> procedure");
+        assert!(matches!(g.get(chain[0]).kind, RegionKind::LoopBody(..)));
+        assert!(matches!(g.get(chain[1]).kind, RegionKind::Loop(..)));
+        assert!(matches!(g.get(chain[2]).kind, RegionKind::Procedure(..)));
+    }
+
+    #[test]
+    fn innermost_for_non_loop_block_is_procedure() {
+        let prog = prog_with_call_in_loop();
+        let g = RegionGraph::new(&prog);
+        let main = prog.func_by_name("main").unwrap();
+        let r = g.innermost_for(&prog, main, BlockId(0));
+        assert!(matches!(g.get(r).kind, RegionKind::Procedure(..)));
+    }
+}

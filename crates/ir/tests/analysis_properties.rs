@@ -1,0 +1,193 @@
+//! Property-based tests of the CFG analyses over randomly generated
+//! structured programs (nested loops and diamonds).
+
+use proptest::prelude::*;
+use ssp_ir::cfg::Cfg;
+use ssp_ir::dom::{control_deps, DomTree};
+use ssp_ir::loops::LoopForest;
+use ssp_ir::{CmpKind, FunctionBuilder, Program, ProgramBuilder, Reg};
+
+/// Structure of a generated program region.
+#[derive(Clone, Debug)]
+enum Shape {
+    /// `k` straight-line instructions.
+    Straight(u8),
+    /// if/else diamond around two sub-shapes.
+    Diamond(Box<Shape>, Box<Shape>),
+    /// Counted loop around a sub-shape.
+    Loop(Box<Shape>, u8),
+    /// Sequence.
+    Seq(Box<Shape>, Box<Shape>),
+}
+
+fn shape_strategy() -> impl Strategy<Value = Shape> {
+    let leaf = (1u8..4).prop_map(Shape::Straight);
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Shape::Diamond(Box::new(a), Box::new(b))),
+            (inner.clone(), 2u8..5).prop_map(|(a, n)| Shape::Loop(Box::new(a), n)),
+            (inner.clone(), inner).prop_map(|(a, b)| Shape::Seq(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+/// Emit `shape` starting in `cur`; returns the block control flows into
+/// afterwards. Fresh registers from a counter to avoid accidental cycles.
+fn emit(
+    f: &mut FunctionBuilder,
+    shape: &Shape,
+    cur: ssp_ir::BlockId,
+    fresh: &mut u16,
+) -> ssp_ir::BlockId {
+    let mut reg = || {
+        *fresh = (*fresh % 60) + 2; // r2..r61, reused round-robin
+        Reg(*fresh)
+    };
+    match shape {
+        Shape::Straight(k) => {
+            for i in 0..*k {
+                let r = reg();
+                f.at(cur).movi(r, i as i64);
+            }
+            cur
+        }
+        Shape::Seq(a, b) => {
+            let mid = emit(f, a, cur, fresh);
+            emit(f, b, mid, fresh)
+        }
+        Shape::Diamond(a, b) => {
+            let then_b = f.new_block();
+            let else_b = f.new_block();
+            let join = f.new_block();
+            let p = reg();
+            f.at(cur).cmp(CmpKind::Lt, p, Reg(0), 1).br_cond(p, then_b, else_b);
+            let te = emit(f, a, then_b, fresh);
+            f.at(te).br(join);
+            let ee = emit(f, b, else_b, fresh);
+            f.at(ee).br(join);
+            join
+        }
+        Shape::Loop(a, n) => {
+            let head = f.new_block();
+            let exit = f.new_block();
+            let (i, p) = (reg(), reg());
+            f.at(cur).movi(i, 0).br(head);
+            let be = emit(f, a, head, fresh);
+            f.at(be)
+                .add(i, i, 1)
+                .cmp(CmpKind::Lt, p, i, *n as i64)
+                .br_cond(p, head, exit);
+            exit
+        }
+    }
+}
+
+fn program_from(shape: &Shape) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("gen");
+    let entry = f.entry_block();
+    let mut fresh = 1u16;
+    let last = emit(&mut f, shape, entry, &mut fresh);
+    f.at(last).halt();
+    let main = f.finish();
+    pb.finish_with(main)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_programs_verify(shape in shape_strategy()) {
+        let prog = program_from(&shape);
+        prop_assert!(ssp_ir::verify::verify(&prog).is_ok());
+    }
+
+    #[test]
+    fn dominator_tree_invariants(shape in shape_strategy()) {
+        let prog = program_from(&shape);
+        let func = prog.func(prog.entry);
+        let cfg = Cfg::new(func);
+        let dom = DomTree::dominators(func, &cfg);
+        for &b in cfg.rpo() {
+            if b == func.entry {
+                prop_assert!(dom.idom(b).is_none());
+                continue;
+            }
+            // Entry dominates every reachable block.
+            prop_assert!(dom.dominates(func.entry, b));
+            // idom strictly dominates and differs from the block.
+            let id = dom.idom(b).expect("reachable non-entry has an idom");
+            prop_assert_ne!(id, b);
+            prop_assert!(dom.dominates(id, b));
+            // idom dominates every predecessor's dominator chain meet:
+            // weaker check — it dominates each reachable predecessor.
+            for &p in cfg.preds(b) {
+                if cfg.is_reachable(p) && !dom.dominates(b, p) {
+                    prop_assert!(dom.dominates(id, p), "idom({b}) = {id} dominates pred {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn loop_forest_invariants(shape in shape_strategy()) {
+        let prog = program_from(&shape);
+        let func = prog.func(prog.entry);
+        let cfg = Cfg::new(func);
+        let dom = DomTree::dominators(func, &cfg);
+        let loops = LoopForest::new(func, &cfg, &dom);
+        for (_, l) in loops.iter() {
+            // The header dominates every member.
+            for &b in &l.blocks {
+                prop_assert!(dom.dominates(l.header, b));
+            }
+            // Latches are members with an edge to the header.
+            for &latch in &l.latches {
+                prop_assert!(l.contains(latch));
+                prop_assert!(cfg.succs(latch).contains(&l.header));
+            }
+            // Nesting depth consistent with the parent chain.
+            let mut d = 1;
+            let mut cur = l.parent;
+            while let Some(p) = cur {
+                d += 1;
+                cur = loops.get(p).parent;
+            }
+            prop_assert_eq!(d, l.depth);
+        }
+    }
+
+    #[test]
+    fn control_dep_sources_are_branches(shape in shape_strategy()) {
+        let prog = program_from(&shape);
+        let func = prog.func(prog.entry);
+        let cfg = Cfg::new(func);
+        let deps = control_deps(func, &cfg);
+        for (bi, ds) in deps.iter().enumerate() {
+            for &c in ds {
+                prop_assert!(
+                    cfg.succs(c).len() >= 2,
+                    "block b{bi} control-depends on b{}, which must branch",
+                    c.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rpo_orders_forward_edges_on_acyclic_parts(shape in shape_strategy()) {
+        let prog = program_from(&shape);
+        let func = prog.func(prog.entry);
+        let cfg = Cfg::new(func);
+        let dom = DomTree::dominators(func, &cfg);
+        for &b in cfg.rpo() {
+            for &s in cfg.succs(b) {
+                // Either a forward edge (RPO increases) or a back edge
+                // (target dominates source).
+                let fwd = cfg.rpo_pos(b).unwrap() < cfg.rpo_pos(s).unwrap();
+                prop_assert!(fwd || dom.dominates(s, b));
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Differential tests of reaching definitions: on straight-line code the
+//! unique reaching def must equal the last textual def; across a diamond
+//! both arms' defs must meet at the join.
+
+use proptest::prelude::*;
+use ssp_ir::cfg::Cfg;
+use ssp_ir::dataflow::ReachingDefs;
+use ssp_ir::{BlockId, CmpKind, Program, ProgramBuilder, Reg};
+
+/// A straight-line program over registers r10..r10+nregs: each step
+/// `dst = src + 1` with dst/src drawn from the pool.
+fn straightline(ops: &[(u16, u16)], nregs: u16) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("sl");
+    let e = f.entry_block();
+    let mut c = f.at(e);
+    for &(d, s) in ops {
+        c = c.add(Reg(10 + d % nregs), Reg(10 + s % nregs), 1);
+    }
+    c.halt();
+    let main = f.finish();
+    pb.finish_with(main)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn straightline_reaching_def_is_last_textual_def(
+        ops in prop::collection::vec((0u16..6, 0u16..6), 1..40),
+        nregs in 2u16..6,
+    ) {
+        let prog = straightline(&ops, nregs);
+        let func = prog.func(prog.entry);
+        let cfg = Cfg::new(func);
+        let rd = ReachingDefs::new(prog.entry, func, &cfg);
+        let b = BlockId(0);
+        // Oracle: walk forward remembering the last def index per reg.
+        let mut last: std::collections::HashMap<Reg, usize> = Default::default();
+        for (i, inst) in func.block(b).insts.iter().enumerate() {
+            for u in inst.op.uses() {
+                let got = rd.reaching(b, i, u);
+                match last.get(&u) {
+                    None => prop_assert!(
+                        got.is_empty(),
+                        "use of {u} at {i} has no def yet, got {got:?}"
+                    ),
+                    Some(&di) => {
+                        prop_assert_eq!(got.len(), 1, "exactly one def reaches");
+                        prop_assert_eq!(got[0].at.idx, di, "the latest def");
+                        prop_assert_eq!(got[0].reg, u);
+                    }
+                }
+            }
+            if let Some(d) = inst.op.def() {
+                last.insert(d, i);
+            }
+        }
+    }
+
+    #[test]
+    fn diamond_merges_both_arms(
+        arm_defs in prop::bool::ANY,
+    ) {
+        // r20 defined in entry; optionally redefined in one or both arms;
+        // at the join the reaching set is exactly the live definitions.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("dia");
+        let e = f.entry_block();
+        let l = f.new_block();
+        let r = f.new_block();
+        let j = f.new_block();
+        let (x, p) = (Reg(20), Reg(21));
+        f.at(e).movi(x, 0).cmp(CmpKind::Lt, p, Reg(0), 1).br_cond(p, l, r);
+        f.at(l).movi(x, 1).br(j); // always redefines in the left arm
+        if arm_defs {
+            f.at(r).movi(x, 2).br(j);
+        } else {
+            f.at(r).movi(Reg(22), 2).br(j);
+        }
+        f.at(j).add(Reg(23), x, 1).halt();
+        let main = f.finish();
+        let prog = pb.finish_with(main);
+        let func = prog.func(prog.entry);
+        let cfg = Cfg::new(func);
+        let rd = ReachingDefs::new(prog.entry, func, &cfg);
+        let got = rd.reaching(j, 0, x);
+        let blocks: std::collections::HashSet<BlockId> =
+            got.iter().map(|d| d.at.block).collect();
+        if arm_defs {
+            // Both arms redefine: entry def killed on every path.
+            prop_assert_eq!(got.len(), 2);
+            prop_assert!(blocks.contains(&l) && blocks.contains(&r));
+        } else {
+            // Right arm keeps the entry def alive.
+            prop_assert_eq!(got.len(), 2);
+            prop_assert!(blocks.contains(&l) && blocks.contains(&e));
+        }
+    }
+}

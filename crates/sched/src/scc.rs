@@ -1,0 +1,222 @@
+//! Strongly-connected-component partitioning of slice dependence graphs
+//! (§3.2.1.2.1).
+//!
+//! Dependence cycles (always involving loop-carried edges) must be
+//! resolved by a chaining thread before its successor can start the same
+//! cycle, so the scheduler tightens each cycle into one SCC and emits
+//! whole SCCs atomically. "A degenerate SCC contains only one instruction
+//! node"; non-degenerate SCCs form the *critical sub-slice* executed
+//! before the spawn point.
+
+use ssp_slicing::RegionDepGraph;
+
+/// The SCC partition of a dependence graph.
+#[derive(Clone, Debug)]
+pub struct SccPartition {
+    /// SCCs in reverse topological discovery order (Tarjan); each is a
+    /// list of node indices of the underlying graph.
+    pub components: Vec<Vec<usize>>,
+    /// Map from node index to its component index.
+    pub comp_of: Vec<usize>,
+    /// Nodes with a dependence edge to themselves (one-instruction
+    /// cycles such as `p = load(p)`).
+    self_edges: Vec<usize>,
+}
+
+impl SccPartition {
+    /// Compute SCCs of `g`, following *all* dependence edges (carried
+    /// edges are what closes cycles). False dependences are absent from
+    /// the graph by construction, matching "we form SCCs without
+    /// considering any false loop-carried dependences".
+    pub fn new(g: &RegionDepGraph) -> Self {
+        let n = g.nodes.len();
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for e in &g.edges {
+            succs[e.from].push(e.to);
+        }
+        // Iterative Tarjan.
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut components: Vec<Vec<usize>> = Vec::new();
+        let mut comp_of = vec![usize::MAX; n];
+
+        #[derive(Clone, Copy)]
+        struct Frame {
+            v: usize,
+            child: usize,
+        }
+        for root in 0..n {
+            if index[root] != usize::MAX {
+                continue;
+            }
+            let mut call: Vec<Frame> = vec![Frame { v: root, child: 0 }];
+            index[root] = next_index;
+            low[root] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root] = true;
+            while let Some(f) = call.last_mut() {
+                let v = f.v;
+                if f.child < succs[v].len() {
+                    let w = succs[v][f.child];
+                    f.child += 1;
+                    if index[w] == usize::MAX {
+                        index[w] = next_index;
+                        low[w] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        call.push(Frame { v: w, child: 0 });
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    if low[v] == index[v] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            comp_of[w] = components.len();
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort_unstable();
+                        components.push(comp);
+                    }
+                    call.pop();
+                    if let Some(p) = call.last() {
+                        let pv = p.v;
+                        low[pv] = low[pv].min(low[v]);
+                    }
+                }
+            }
+        }
+        let mut self_edges: Vec<usize> =
+            g.edges.iter().filter(|e| e.from == e.to).map(|e| e.from).collect();
+        self_edges.sort_unstable();
+        self_edges.dedup();
+        SccPartition { components, comp_of, self_edges }
+    }
+
+    /// Whether component `c` is non-degenerate (a real dependence cycle).
+    /// A single node with a self edge (e.g. `p = load(p)`) also counts.
+    pub fn is_cycle(&self, c: usize) -> bool {
+        self.components[c].len() > 1
+            || self
+                .components[c]
+                .first()
+                .is_some_and(|&v| self.self_edges.contains(&v))
+    }
+
+    /// Node indices belonging to non-degenerate SCCs — the critical
+    /// sub-slice candidates.
+    pub fn cyclic_nodes(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = (0..self.components.len())
+            .filter(|&c| self.is_cycle(c))
+            .flat_map(|c| self.components[c].iter().copied())
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssp_ir::{CmpKind, InstRef, Operand, ProgramBuilder, Reg};
+    use ssp_slicing::{Analyses, RegionDepGraph};
+    use ssp_sim::{MachineConfig, Profile};
+
+    /// Figure 3's loop again; the SCC must be {A, D, cmp, branch}, with B
+    /// and C degenerate (Figure 5(a) merges cmp+branch into "E").
+    fn figure3_graph() -> (ssp_ir::Program, RegionDepGraph, ssp_ir::BlockId) {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        let (arc, k, t, u, v, p) = (Reg(64), Reg(65), Reg(66), Reg(67), Reg(68), Reg(70));
+        f.at(e).movi(arc, 0x1000).movi(k, 0x9000).br(body);
+        f.at(body)
+            .mov(t, arc) // 0 A
+            .ld(u, t, 0) // 1 B
+            .ld(v, u, 0) // 2 C
+            .add(arc, t, 64) // 3 D
+            .cmp(CmpKind::Lt, p, arc, Operand::Reg(k)) // 4 E-cmp
+            .br_cond(p, body, exit); // 5 E-br
+        f.at(exit).halt();
+        let main = f.finish();
+        let prog = pb.finish_with(main);
+        let mut an = Analyses::new();
+        let fa = an.get(&prog, prog.entry);
+        let g = RegionDepGraph::build(
+            &prog,
+            prog.entry,
+            &[body],
+            fa,
+            &Profile::default(),
+            &MachineConfig::in_order(),
+        );
+        (prog, g, body)
+    }
+
+    #[test]
+    fn figure5_scc_structure() {
+        let (prog, g, body) = figure3_graph();
+        let scc = SccPartition::new(&g);
+        let n = |idx: usize| g.node_of(InstRef { func: prog.entry, block: body, idx }).unwrap();
+        let cyc = scc.cyclic_nodes();
+        assert!(cyc.contains(&n(0)), "A in the cycle");
+        assert!(cyc.contains(&n(3)), "D in the cycle");
+        assert!(cyc.contains(&n(4)), "cmp in the cycle");
+        assert!(cyc.contains(&n(5)), "branch in the cycle");
+        assert!(!cyc.contains(&n(1)), "B degenerate");
+        assert!(!cyc.contains(&n(2)), "C degenerate");
+        // One non-degenerate component exactly.
+        assert_eq!(scc.components.iter().filter(|c| c.len() > 1).count(), 1);
+    }
+
+    #[test]
+    fn acyclic_graph_is_all_degenerate() {
+        // Straight-line: a -> b -> c data chain, no loop.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        f.at(e)
+            .movi(Reg(1), 5)
+            .add(Reg(2), Reg(1), 1)
+            .add(Reg(3), Reg(2), 1)
+            .halt();
+        let main = f.finish();
+        let prog = pb.finish_with(main);
+        let mut an = Analyses::new();
+        let fa = an.get(&prog, prog.entry);
+        let g = RegionDepGraph::build(
+            &prog,
+            prog.entry,
+            &[prog.func(prog.entry).entry],
+            fa,
+            &Profile::default(),
+            &MachineConfig::in_order(),
+        );
+        let scc = SccPartition::new(&g);
+        assert!(scc.cyclic_nodes().is_empty());
+        assert_eq!(scc.components.len(), g.nodes.len());
+    }
+
+    #[test]
+    fn comp_of_is_consistent() {
+        let (_, g, _) = figure3_graph();
+        let scc = SccPartition::new(&g);
+        for (ci, comp) in scc.components.iter().enumerate() {
+            for &nd in comp {
+                assert_eq!(scc.comp_of[nd], ci);
+            }
+        }
+    }
+}

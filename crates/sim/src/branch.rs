@@ -1,0 +1,163 @@
+//! Branch prediction: 2k-entry GSHARE plus a 256-entry 4-way BTB.
+
+use ssp_ir::{BlockId, FuncId};
+
+/// GSHARE direction predictor with 2-bit saturating counters.
+#[derive(Clone, Debug)]
+pub struct Gshare {
+    table: Vec<u8>,
+    history: u64,
+    mask: u64,
+}
+
+impl Gshare {
+    /// A predictor with `entries` counters (must be a power of two).
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "GSHARE table size must be a power of two");
+        Gshare { table: vec![1; entries], history: 0, mask: entries as u64 - 1 }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc ^ self.history) & self.mask) as usize
+    }
+
+    /// Predict the direction for the branch identified by `pc`.
+    pub fn predict(&self, pc: u64) -> bool {
+        self.table[self.index(pc)] >= 2
+    }
+
+    /// Update with the actual outcome and shift the global history.
+    pub fn update(&mut self, pc: u64, taken: bool) {
+        let i = self.index(pc);
+        let c = &mut self.table[i];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+        self.history = (self.history << 1) | u64::from(taken);
+    }
+}
+
+/// Branch target buffer: caches taken-branch targets; a taken branch whose
+/// target is absent pays a small redirect bubble even when the direction
+/// was predicted correctly.
+#[derive(Clone, Debug)]
+pub struct Btb {
+    sets: Vec<Vec<(u64, u64, u64)>>, // (pc, target_key, last_used)
+    assoc: usize,
+    mask: u64,
+}
+
+impl Btb {
+    /// A BTB with `entries` total entries and `assoc` ways.
+    pub fn new(entries: usize, assoc: usize) -> Self {
+        let sets = entries / assoc;
+        assert!(sets.is_power_of_two(), "BTB set count must be a power of two");
+        Btb { sets: vec![Vec::new(); sets], assoc, mask: sets as u64 - 1 }
+    }
+
+    /// Whether `pc`'s target is cached as `target_key`; updates LRU.
+    pub fn lookup(&mut self, pc: u64, target_key: u64, now: u64) -> bool {
+        let si = (pc & self.mask) as usize;
+        if let Some(e) = self.sets[si].iter_mut().find(|e| e.0 == pc) {
+            e.2 = now;
+            return e.1 == target_key;
+        }
+        false
+    }
+
+    /// Record the taken target of `pc`.
+    pub fn record(&mut self, pc: u64, target_key: u64, now: u64) {
+        let si = (pc & self.mask) as usize;
+        if let Some(e) = self.sets[si].iter_mut().find(|e| e.0 == pc) {
+            e.1 = target_key;
+            e.2 = now;
+            return;
+        }
+        if self.sets[si].len() >= self.assoc {
+            let (vi, _) = self.sets[si]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.2)
+                .expect("nonempty set");
+            self.sets[si].swap_remove(vi);
+        }
+        self.sets[si].push((pc, target_key, now));
+    }
+}
+
+/// A synthetic "program counter" for a static branch: stable and unique
+/// per (function, block, index).
+pub fn static_pc(func: FuncId, block: BlockId, idx: usize) -> u64 {
+    (u64::from(func.0) << 40) ^ (u64::from(block.0) << 16) ^ idx as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gshare_learns_a_bias() {
+        let mut g = Gshare::new(2048);
+        let pc = static_pc(FuncId(0), BlockId(3), 2);
+        // With history-based indexing the first few updates each train a
+        // different counter; after the history saturates to all-taken the
+        // index is stable and the counter saturates too.
+        for _ in 0..100 {
+            g.update(pc, true);
+        }
+        assert!(g.predict(pc));
+        for _ in 0..100 {
+            g.update(pc, false);
+        }
+        assert!(!g.predict(pc));
+    }
+
+    #[test]
+    fn gshare_learns_alternating_pattern_via_history() {
+        let mut g = Gshare::new(2048);
+        let pc = static_pc(FuncId(0), BlockId(1), 0);
+        // Train on a strict T/N alternation; with history-based indexing
+        // the two phases use different counters and both become correct.
+        let mut taken = false;
+        for _ in 0..64 {
+            g.update(pc, taken);
+            taken = !taken;
+        }
+        let mut correct = 0;
+        for _ in 0..32 {
+            if g.predict(pc) == taken {
+                correct += 1;
+            }
+            g.update(pc, taken);
+            taken = !taken;
+        }
+        assert!(correct >= 30, "alternation should be nearly perfectly predicted, got {correct}/32");
+    }
+
+    #[test]
+    fn btb_caches_targets() {
+        let mut b = Btb::new(256, 4);
+        let pc = static_pc(FuncId(1), BlockId(2), 5);
+        assert!(!b.lookup(pc, 77, 0), "cold BTB misses");
+        b.record(pc, 77, 0);
+        assert!(b.lookup(pc, 77, 1));
+        assert!(!b.lookup(pc, 88, 2), "target mismatch is a miss");
+        b.record(pc, 88, 3);
+        assert!(b.lookup(pc, 88, 4));
+    }
+
+    #[test]
+    fn btb_evicts_lru_within_set() {
+        let mut b = Btb::new(4, 2); // 2 sets x 2 ways
+        // Three branches mapping to set 0 (pc & 1 == 0).
+        let pcs = [0u64, 2, 4];
+        b.record(pcs[0], 1, 0);
+        b.record(pcs[1], 1, 1);
+        b.record(pcs[2], 1, 2); // evicts pcs[0]
+        assert!(!b.lookup(pcs[0], 1, 3));
+        assert!(b.lookup(pcs[1], 1, 4));
+        assert!(b.lookup(pcs[2], 1, 5));
+    }
+}

@@ -1,0 +1,442 @@
+//! The timestamped cache hierarchy: L1D, L2, L3, fill buffer (MSHR), TLB.
+//!
+//! Rather than stepping every cache event on the global clock, each line
+//! records the cycle its data arrives (`valid_from`). An access at time
+//! `t` to a line still in transit is a *partial* hit — exactly the
+//! "partial miss" category of Figure 9: "accesses to cache lines which
+//! were already in transit to L1 cache due to accesses by prior loads
+//! from the main thread or from a prefetch".
+
+use crate::config::{CacheConfig, MachineConfig};
+
+/// Where a load was satisfied (Figure 9's categories).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum HitWhere {
+    /// Hit in the L1 data cache.
+    L1,
+    /// Satisfied by the L2 cache.
+    L2,
+    /// Line already in transit from the L2 cache.
+    L2Partial,
+    /// Satisfied by the L3 cache.
+    L3,
+    /// Line already in transit from the L3 cache.
+    L3Partial,
+    /// Satisfied by main memory.
+    Mem,
+    /// Line already in transit from main memory.
+    MemPartial,
+}
+
+impl HitWhere {
+    /// The partial-hit variant for a fill that originated at this level.
+    pub fn to_partial(self) -> HitWhere {
+        match self {
+            HitWhere::L2 | HitWhere::L2Partial => HitWhere::L2Partial,
+            HitWhere::L3 | HitWhere::L3Partial => HitWhere::L3Partial,
+            HitWhere::Mem | HitWhere::MemPartial => HitWhere::MemPartial,
+            HitWhere::L1 => HitWhere::L1,
+        }
+    }
+
+    /// Whether the access missed L1 (everything but [`HitWhere::L1`]).
+    pub fn is_l1_miss(self) -> bool {
+        self != HitWhere::L1
+    }
+}
+
+/// Result of a hierarchy access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AccessResult {
+    /// Cycle at which the loaded value is usable.
+    pub ready_at: u64,
+    /// Which level satisfied the access.
+    pub hit: HitWhere,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    tag: u64,
+    /// Cycle the data arrives; accesses before this are partial hits.
+    valid_from: u64,
+    /// Origin of the in-flight fill (for partial classification).
+    origin: HitWhere,
+    /// LRU timestamp.
+    last_used: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Level {
+    sets: Vec<Vec<Line>>,
+    assoc: usize,
+    set_shift: u32,
+    set_mask: u64,
+    latency: u64,
+}
+
+impl Level {
+    fn new(cfg: &CacheConfig) -> Self {
+        let sets = cfg.num_sets();
+        assert!(sets.is_power_of_two(), "cache set count must be a power of two");
+        Level {
+            sets: vec![Vec::new(); sets],
+            assoc: cfg.assoc,
+            set_shift: cfg.line.trailing_zeros(),
+            set_mask: (sets - 1) as u64,
+            latency: cfg.latency,
+        }
+    }
+
+    fn set_of(&self, line_addr: u64) -> usize {
+        ((line_addr >> self.set_shift) & self.set_mask) as usize
+    }
+
+    /// Look the line up; on hit, refresh LRU and return it.
+    fn lookup(&mut self, line_addr: u64, now: u64) -> Option<Line> {
+        let si = self.set_of(line_addr);
+        let set = &mut self.sets[si];
+        if let Some(l) = set.iter_mut().find(|l| l.tag == line_addr) {
+            l.last_used = now;
+            Some(*l)
+        } else {
+            None
+        }
+    }
+
+    /// Insert (or refresh) a line arriving at `valid_from`, evicting LRU.
+    fn fill(&mut self, line_addr: u64, valid_from: u64, origin: HitWhere, now: u64) {
+        let si = self.set_of(line_addr);
+        let set = &mut self.sets[si];
+        if let Some(l) = set.iter_mut().find(|l| l.tag == line_addr) {
+            // Refill of a present line: keep the earlier arrival.
+            if valid_from < l.valid_from {
+                l.valid_from = valid_from;
+                l.origin = origin;
+            }
+            l.last_used = now;
+            return;
+        }
+        if set.len() >= self.assoc {
+            // Evict LRU.
+            let (vi, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.last_used)
+                .expect("nonempty set");
+            set.swap_remove(vi);
+        }
+        set.push(Line { tag: line_addr, valid_from, origin, last_used: now });
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct MshrEntry {
+    line: u64,
+    ready_at: u64,
+    origin: HitWhere,
+}
+
+/// A simple LRU TLB over page numbers.
+#[derive(Clone, Debug)]
+struct Tlb {
+    entries: Vec<(u64, u64)>, // (page, last_used)
+    capacity: usize,
+    page_shift: u32,
+}
+
+impl Tlb {
+    fn new(capacity: usize, page_size: u64) -> Self {
+        Tlb { entries: Vec::with_capacity(capacity), capacity, page_shift: page_size.trailing_zeros() }
+    }
+
+    /// Returns true on TLB hit; inserts on miss.
+    fn access(&mut self, addr: u64, now: u64) -> bool {
+        let page = addr >> self.page_shift;
+        if let Some(e) = self.entries.iter_mut().find(|(p, _)| *p == page) {
+            e.1 = now;
+            return true;
+        }
+        if self.entries.len() >= self.capacity {
+            let (vi, _) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, lu))| *lu)
+                .expect("nonempty tlb");
+            self.entries.swap_remove(vi);
+        }
+        self.entries.push((page, now));
+        false
+    }
+}
+
+/// The shared three-level hierarchy plus fill buffer and TLB.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    l1: Level,
+    l2: Level,
+    l3: Level,
+    mshr: Vec<MshrEntry>,
+    mshr_capacity: usize,
+    tlb: Tlb,
+    tlb_penalty: u64,
+    mem_latency: u64,
+    line_mask: u64,
+    /// Prefetches dropped because the fill buffer was full.
+    pub dropped_prefetches: u64,
+    /// Loads delayed because the fill buffer was full.
+    pub mshr_stalls: u64,
+}
+
+impl Hierarchy {
+    /// Build the hierarchy described by `cfg`.
+    pub fn new(cfg: &MachineConfig) -> Self {
+        Hierarchy {
+            l1: Level::new(&cfg.l1d),
+            l2: Level::new(&cfg.l2),
+            l3: Level::new(&cfg.l3),
+            mshr: Vec::new(),
+            mshr_capacity: cfg.fill_buffer,
+            tlb: Tlb::new(cfg.tlb_entries, cfg.page_size),
+            tlb_penalty: cfg.tlb_miss_penalty,
+            mem_latency: cfg.mem_latency,
+            line_mask: !(cfg.l1d.line as u64 - 1),
+            dropped_prefetches: 0,
+            mshr_stalls: 0,
+        }
+    }
+
+    fn retire_mshr(&mut self, now: u64) {
+        self.mshr.retain(|e| e.ready_at > now);
+    }
+
+    /// Number of fills in flight at `now`.
+    pub fn mshr_in_flight(&mut self, now: u64) -> usize {
+        self.retire_mshr(now);
+        self.mshr.len()
+    }
+
+    /// Perform a demand load at cycle `now`.
+    pub fn access_load(&mut self, addr: u64, now: u64) -> AccessResult {
+        self.access(addr, now, false)
+            .expect("demand loads are never dropped")
+    }
+
+    /// Perform a store at cycle `now` (write-allocate; the thread does not
+    /// wait for the fill). Returns where the line was found.
+    pub fn access_store(&mut self, addr: u64, now: u64) -> HitWhere {
+        match self.access(addr, now, false) {
+            Some(r) => r.hit,
+            None => HitWhere::Mem,
+        }
+    }
+
+    /// Perform a software prefetch (`lfetch`). Dropped (returns `None`)
+    /// when the fill buffer is full, like the real instruction.
+    pub fn access_prefetch(&mut self, addr: u64, now: u64) -> Option<AccessResult> {
+        let line = addr & self.line_mask;
+        // A prefetch that hits L1 or an in-flight fill is free.
+        if let Some(l) = self.l1.lookup(line, now) {
+            let hit = if l.valid_from <= now { HitWhere::L1 } else { l.origin.to_partial() };
+            return Some(AccessResult { ready_at: now.max(l.valid_from), hit });
+        }
+        self.retire_mshr(now);
+        if self.mshr.len() >= self.mshr_capacity {
+            self.dropped_prefetches += 1;
+            return None;
+        }
+        self.access(addr, now, true)
+    }
+
+    fn access(&mut self, addr: u64, now: u64, is_prefetch: bool) -> Option<AccessResult> {
+        let line = addr & self.line_mask;
+        let tlb_extra = if self.tlb.access(addr, now) { 0 } else { self.tlb_penalty };
+
+        // L1.
+        if let Some(l) = self.l1.lookup(line, now) {
+            if l.valid_from <= now {
+                return Some(AccessResult { ready_at: now + self.l1.latency + tlb_extra, hit: HitWhere::L1 });
+            }
+            return Some(AccessResult {
+                ready_at: l.valid_from + tlb_extra,
+                hit: l.origin.to_partial(),
+            });
+        }
+        // In-flight fill?
+        self.retire_mshr(now);
+        if let Some(e) = self.mshr.iter().find(|e| e.line == line) {
+            return Some(AccessResult {
+                ready_at: e.ready_at + tlb_extra,
+                hit: e.origin.to_partial(),
+            });
+        }
+        // Fill buffer full: a demand miss waits for the earliest entry to
+        // retire, then proceeds from that time.
+        let mut t = now;
+        if self.mshr.len() >= self.mshr_capacity {
+            if is_prefetch {
+                self.dropped_prefetches += 1;
+                return None;
+            }
+            self.mshr_stalls += 1;
+            t = self.mshr.iter().map(|e| e.ready_at).min().unwrap_or(now);
+            self.mshr.retain(|e| e.ready_at > t);
+        }
+
+        // L2.
+        let (ready, origin) = if let Some(l) = self.l2.lookup(line, t) {
+            if l.valid_from <= t {
+                (t + self.l2.latency, HitWhere::L2)
+            } else {
+                (l.valid_from.max(t + self.l2.latency), l.origin.to_partial())
+            }
+        } else if let Some(l) = self.l3.lookup(line, t) {
+            // L3.
+            let r = if l.valid_from <= t {
+                (t + self.l3.latency, HitWhere::L3)
+            } else {
+                (l.valid_from.max(t + self.l3.latency), l.origin.to_partial())
+            };
+            // Fill L2 on the way in.
+            self.l2.fill(line, r.0, HitWhere::L3, t);
+            r
+        } else {
+            // Memory.
+            let r = (t + self.mem_latency, HitWhere::Mem);
+            self.l3.fill(line, r.0, HitWhere::Mem, t);
+            self.l2.fill(line, r.0, HitWhere::Mem, t);
+            r
+        };
+        // Fill L1 and track the in-flight line.
+        self.l1.fill(line, ready, origin, t);
+        self.mshr.push(MshrEntry { line, ready_at: ready, origin });
+        Some(AccessResult { ready_at: ready + tlb_extra, hit: origin })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    fn hier() -> Hierarchy {
+        Hierarchy::new(&MachineConfig::in_order())
+    }
+
+    #[test]
+    fn cold_miss_goes_to_memory() {
+        let mut h = hier();
+        let r = h.access_load(0x10000, 100);
+        assert_eq!(r.hit, HitWhere::Mem);
+        // Memory latency plus the cold-TLB penalty.
+        assert_eq!(r.ready_at, 100 + 230 + 30);
+    }
+
+    #[test]
+    fn second_access_hits_l1_after_fill() {
+        let mut h = hier();
+        let r1 = h.access_load(0x10000, 0);
+        let r2 = h.access_load(0x10000, r1.ready_at + 1);
+        assert_eq!(r2.hit, HitWhere::L1);
+        assert_eq!(r2.ready_at, r1.ready_at + 1 + 2);
+    }
+
+    #[test]
+    fn access_during_fill_is_partial() {
+        let mut h = hier();
+        let r1 = h.access_load(0x10000, 0);
+        let r2 = h.access_load(0x10008, 10); // same 64B line, still in transit
+        assert_eq!(r2.hit, HitWhere::MemPartial);
+        // The fill itself lands at 230 (r1 additionally paid the TLB miss).
+        assert_eq!(r2.ready_at, 230);
+        assert!(r2.ready_at <= r1.ready_at);
+    }
+
+    #[test]
+    fn different_line_misses_independently() {
+        let mut h = hier();
+        h.access_load(0x10000, 0);
+        let r = h.access_load(0x10040, 0);
+        assert_eq!(r.hit, HitWhere::Mem);
+    }
+
+    #[test]
+    fn prefetch_then_load_hits() {
+        let mut h = hier();
+        let p = h.access_prefetch(0x20000, 0).unwrap();
+        assert_eq!(p.hit, HitWhere::Mem);
+        // Load after the prefetch completes: L1 hit.
+        let r = h.access_load(0x20000, p.ready_at + 1);
+        assert_eq!(r.hit, HitWhere::L1);
+        // Load while the prefetch is in flight: partial.
+        let mut h = hier();
+        let p = h.access_prefetch(0x20000, 0).unwrap();
+        let r = h.access_load(0x20000, p.ready_at / 2);
+        assert_eq!(r.hit, HitWhere::MemPartial);
+        // The in-flight fill lands at 230; the prefetch result additionally
+        // included its own TLB-miss penalty.
+        assert_eq!(r.ready_at, 230);
+    }
+
+    #[test]
+    fn l1_eviction_falls_back_to_l2() {
+        let mut h = hier();
+        // Fill one L1 set beyond associativity. L1: 64 sets, 4 ways, so
+        // addresses 64B apart with the same set index are 64*64 = 4096 apart.
+        let stride = 64 * 64;
+        let mut t = 0;
+        for i in 0..5u64 {
+            let r = h.access_load(0x100000 + i * stride, t);
+            t = r.ready_at + 1;
+        }
+        // The first line was evicted from L1 but lives in L2.
+        let r = h.access_load(0x100000, t);
+        assert_eq!(r.hit, HitWhere::L2);
+        assert_eq!(r.ready_at, t + 14);
+    }
+
+    #[test]
+    fn fill_buffer_limits_outstanding_prefetches() {
+        let mut h = hier();
+        for i in 0..16u64 {
+            assert!(h.access_prefetch(0x30000 + i * 64, 0).is_some());
+        }
+        assert!(h.access_prefetch(0x40000, 0).is_none(), "17th prefetch dropped");
+        assert_eq!(h.dropped_prefetches, 1);
+        // After the fills complete there is room again.
+        assert!(h.access_prefetch(0x40000, 300).is_some());
+    }
+
+    #[test]
+    fn demand_load_waits_for_mshr_capacity() {
+        let mut h = hier();
+        for i in 0..16u64 {
+            h.access_load(0x30000 + i * 64, 0);
+        }
+        let r = h.access_load(0x50000, 1);
+        // Had to wait for an entry to retire at 230, then pay memory plus
+        // the cold-TLB penalty for the new page.
+        assert_eq!(r.ready_at, 230 + 230 + 30);
+        assert_eq!(h.mshr_stalls, 1);
+    }
+
+    #[test]
+    fn tlb_miss_adds_penalty_once_per_page() {
+        let mut h = hier();
+        let r1 = h.access_load(0x80000, 0);
+        // Cold TLB: first access pays the 30-cycle penalty on top.
+        assert_eq!(r1.ready_at, 230 + 30);
+        let r2 = h.access_load(0x80040, r1.ready_at);
+        // Same page: no TLB penalty.
+        assert_eq!(r2.ready_at, r1.ready_at + 230);
+    }
+
+    #[test]
+    fn store_allocates_line() {
+        let mut h = hier();
+        let w = h.access_store(0x90000, 0);
+        assert_eq!(w, HitWhere::Mem);
+        let r = h.access_load(0x90000, 300);
+        assert_eq!(r.hit, HitWhere::L1);
+    }
+}

@@ -1,0 +1,856 @@
+//! The cycle-stepped SMT execution engine.
+//!
+//! Both research Itanium models share one engine. Instructions execute
+//! *functionally* in program order per thread at dispatch (so the machine
+//! always follows the correct path), while a timing model decides when
+//! their results become available:
+//!
+//! * **In-order** (12-stage): an instruction issues only when its sources
+//!   are ready — the pipeline stalls on *use* of the destination register
+//!   of an outstanding load miss, exactly the behaviour §4.3 highlights.
+//! * **Out-of-order** (16-stage): dispatch fills a per-thread 255-entry
+//!   ROB and 18-entry reservation station; an instruction's start time is
+//!   the max of its operands' ready times (perfect renaming), commit is
+//!   in order. Branch mispredictions redirect fetch at branch *resolve*
+//!   time plus the deeper front-end penalty.
+//!
+//! SMT fetch/issue bandwidth follows Table 1: two bundles from one thread
+//! or one bundle each from two threads per cycle. The main thread has
+//! fetch priority; speculative threads round-robin for the rest.
+//!
+//! Spawning follows §3.4.2: `chk.c` redirects the main thread to its stub
+//! block when a context is free (charged like an exception flush), the
+//! stub's `spawn` binds a free context to the slice block and passes the
+//! live-in-buffer slot, and speculative threads never modify main-thread
+//! architectural state (the verifier bans stores in slices; the engine
+//! additionally drops any store a speculative thread tries to execute).
+
+use crate::branch::{static_pc, Btb, Gshare};
+use crate::stride::StridePrefetcher;
+use crate::cache::{HitWhere, Hierarchy};
+use crate::config::{MachineConfig, MemoryMode, PipelineKind};
+use crate::exec::{alu_eval, cmp_eval, falu_eval, RegFile};
+use crate::mem::{LiveInBuffer, Memory, LIB_NO_SLOT};
+use crate::stats::SimResult;
+use ssp_ir::reg::{conv, NUM_REGS};
+use ssp_ir::{BlockId, FuncId, InstRef, Op, Program};
+use std::collections::VecDeque;
+
+/// Functional-unit classes (Table 1: 4 int, 2 FP, 3 branch, 2 mem ports).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum FuClass {
+    Int = 0,
+    Fp = 1,
+    Branch = 2,
+    Mem = 3,
+}
+
+fn fu_class(op: &Op) -> FuClass {
+    match op {
+        Op::FAlu { .. } => FuClass::Fp,
+        Op::Ld { .. } | Op::St { .. } | Op::Lfetch { .. } | Op::LibLd { .. } | Op::LibSt { .. } => {
+            FuClass::Mem
+        }
+        Op::Br { .. }
+        | Op::BrCond { .. }
+        | Op::Call { .. }
+        | Op::CallInd { .. }
+        | Op::Ret
+        | Op::Spawn { .. }
+        | Op::KillThread => FuClass::Branch,
+        _ => FuClass::Int,
+    }
+}
+
+/// Why a thread could not issue/dispatch this cycle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum StallReason {
+    /// Waiting on a source register; payload is the producing load's hit
+    /// level if the producer was a load.
+    SrcNotReady(Option<HitWhere>),
+    /// No functional unit of the needed class.
+    Structural,
+    /// Front end redirecting (mispredict, BTB miss, spawn flush).
+    FetchWait,
+    /// OOO: reorder buffer full; payload is the commit-blocking load's
+    /// hit level, if the blocker is a load.
+    RobFull(Option<HitWhere>),
+    /// OOO: reservation station full; payload is the oldest outstanding
+    /// load's hit level, if one is pending (the RS is usually what backs
+    /// up behind long misses, since it is far smaller than the ROB).
+    RsFull(Option<HitWhere>),
+}
+
+#[derive(Clone, Copy, Debug)]
+struct RobEntry {
+    /// When the instruction leaves the reservation station (issues).
+    start_at: u64,
+    complete_at: u64,
+    is_load: bool,
+    hit: Option<HitWhere>,
+}
+
+#[derive(Clone, Debug)]
+struct Thread {
+    rf: RegFile,
+    pc: Option<InstRef>,
+    call_stack: Vec<InstRef>,
+    reg_ready: [u64; NUM_REGS],
+    reg_src: [Option<HitWhere>; NUM_REGS],
+    fetch_ready: u64,
+    speculative: bool,
+    insts: u64,
+    owned_slot: Option<u64>,
+    rob: VecDeque<RobEntry>,
+    /// In-order bookkeeping: outstanding load misses `(ready_at, level)`.
+    outstanding: Vec<(u64, HitWhere)>,
+}
+
+impl Thread {
+    fn new() -> Self {
+        Thread {
+            rf: RegFile::new(),
+            pc: None,
+            call_stack: Vec::new(),
+            reg_ready: [0; NUM_REGS],
+            reg_src: [None; NUM_REGS],
+            fetch_ready: 0,
+            speculative: false,
+            insts: 0,
+            owned_slot: None,
+            rob: VecDeque::new(),
+            outstanding: Vec::new(),
+        }
+    }
+
+    fn active(&self) -> bool {
+        self.pc.is_some()
+    }
+
+    fn has_outstanding_miss(&self, now: u64) -> bool {
+        self.outstanding.iter().any(|&(r, h)| r > now && h.is_l1_miss())
+            || self
+                .rob
+                .iter()
+                .any(|e| e.is_load && e.complete_at > now && e.hit.is_some_and(HitWhere::is_l1_miss))
+    }
+}
+
+/// What the engine should do after executing one instruction.
+enum Flow {
+    /// Keep issuing from this thread (fallthrough).
+    Continue,
+    /// Control transferred: end this thread's issue group.
+    Redirect,
+    /// The thread ended (kill/ret-from-empty-stack).
+    ThreadDone,
+    /// The whole simulation ends.
+    Halt,
+}
+
+/// The simulation engine. Construct with [`Engine::new`], run with
+/// [`Engine::run`].
+pub struct Engine<'a> {
+    prog: &'a Program,
+    cfg: &'a MachineConfig,
+    mem: Memory,
+    lib: LiveInBuffer,
+    hier: Hierarchy,
+    gshare: Gshare,
+    btb: Btb,
+    threads: Vec<Thread>,
+    cycle: u64,
+    in_roi: bool,
+    /// Whether the program contains ROI markers at all; if not, the whole
+    /// run is the region of interest.
+    has_roi: bool,
+    result: SimResult,
+    /// Per-cycle FU use (in-order); OOO books into `fu_ring`.
+    fu_used: [usize; 4],
+    fu_limits: [usize; 4],
+    /// OOO functional-unit booking for future cycles, indexed from
+    /// `fu_ring_base`.
+    fu_ring: VecDeque<[u16; 4]>,
+    fu_ring_base: u64,
+    rr_next: usize,
+    stride: Option<StridePrefetcher>,
+}
+
+impl<'a> Engine<'a> {
+    /// Set up a machine to run `prog`.
+    pub fn new(prog: &'a Program, cfg: &'a MachineConfig) -> Self {
+        let mut mem = Memory::new();
+        mem.load_image(&prog.image);
+        let mut threads = vec![Thread::new(); cfg.num_contexts];
+        // The main thread starts at the program entry with SP set.
+        let entry = prog.func(prog.entry).entry;
+        threads[0].pc = Some(InstRef { func: prog.entry, block: entry, idx: 0 });
+        threads[0].rf.write(conv::SP, 0x7FFF_FF00_0000);
+        let has_roi = prog.iter_funcs().any(|(_, f)| {
+            f.blocks.iter().any(|b| b.insts.iter().any(|i| matches!(i.op, Op::RoiBegin)))
+        });
+        Engine {
+            prog,
+            cfg,
+            mem,
+            lib: LiveInBuffer::new(cfg.lib_slots, cfg.lib_slot_words),
+            hier: Hierarchy::new(cfg),
+            gshare: Gshare::new(cfg.gshare_entries),
+            btb: Btb::new(cfg.btb_entries, cfg.btb_assoc),
+            threads,
+            cycle: 0,
+            in_roi: false,
+            has_roi,
+            result: SimResult::default(),
+            fu_used: [0; 4],
+            fu_limits: [cfg.int_units, cfg.fp_units, cfg.branch_units, cfg.mem_ports],
+            fu_ring: VecDeque::new(),
+            fu_ring_base: 0,
+            rr_next: 1,
+            stride: cfg
+                .stride_prefetcher
+                .then(|| StridePrefetcher::new(cfg.stride_degree)),
+        }
+    }
+
+    /// Run to `halt` (or the cycle cap) and return the statistics.
+    pub fn run(mut self) -> SimResult {
+        let max = if self.cfg.max_cycles == 0 { u64::MAX } else { self.cfg.max_cycles };
+        let mut halted = false;
+        while self.cycle < max {
+            if self.step_cycle() {
+                halted = true;
+                break;
+            }
+            self.cycle += 1;
+        }
+        self.result.halted = halted;
+        self.result.total_cycles = self.cycle;
+        self.result
+    }
+
+    fn effective_roi(&self) -> bool {
+        !self.has_roi || self.in_roi
+    }
+
+    /// Simulate one cycle. Returns true when the program halted.
+    fn step_cycle(&mut self) -> bool {
+        self.fu_used = [0; 4];
+        self.advance_fu_ring();
+
+        let width = self.cfg.bundle_width; // instructions per bundle
+        let mut main_issued = 0usize;
+        let mut main_stall: Option<StallReason> = None;
+        let mut halt = false;
+
+        // Thread selection, per Table 1 ("2 bundles from 1 thread or
+        // 1 bundle each from 2 threads") with main-thread priority: the
+        // main thread always gets the first bundle; the second goes to a
+        // speculative thread (round-robin), falling back to whichever
+        // side can use it when the other cannot.
+        let n = self.threads.len();
+        let mut bundles_left = self.cfg.bundles_per_cycle;
+        let main_ready =
+            self.threads[0].active() && self.threads[0].fetch_ready <= self.cycle;
+        if self.threads[0].active() && !main_ready {
+            main_stall = Some(StallReason::FetchWait);
+        }
+        if main_ready {
+            let (count, stall, halted) = self.issue_thread(0, width);
+            main_issued = count;
+            if count == 0 {
+                main_stall = stall;
+            }
+            halt = halted;
+            if count > 0 {
+                bundles_left -= 1;
+            }
+        }
+        // Speculative threads, round-robin, one bundle each.
+        if !halt && n > 1 {
+            let start = self.rr_next;
+            self.rr_next = 1 + (self.rr_next % (n - 1));
+            for i in 0..n - 1 {
+                if bundles_left == 0 {
+                    break;
+                }
+                let tid = 1 + (start - 1 + i) % (n - 1);
+                if !self.threads[tid].active() || self.threads[tid].fetch_ready > self.cycle {
+                    continue;
+                }
+                let (count, _, halted) = self.issue_thread(tid, width);
+                if halted {
+                    halt = true;
+                    break;
+                }
+                if count > 0 {
+                    bundles_left -= 1;
+                }
+            }
+        }
+        // Leftover bundle back to the main thread ("2 bundles from 1") —
+        // unless its front end was redirected by the first pass.
+        if !halt
+            && main_ready
+            && bundles_left > 0
+            && main_issued > 0
+            && self.threads[0].active()
+            && self.threads[0].fetch_ready <= self.cycle
+        {
+            let (count, _, halted) = self.issue_thread(0, bundles_left * width);
+            main_issued += count;
+            halt = halted;
+        }
+
+        // OOO commit.
+        if self.cfg.pipeline == PipelineKind::OutOfOrder {
+            let commit_width = self.cfg.bundles_per_cycle * width;
+            for t in &mut self.threads {
+                let mut committed = 0;
+                while committed < commit_width {
+                    match t.rob.front() {
+                        Some(e) if e.complete_at <= self.cycle => {
+                            t.rob.pop_front();
+                            committed += 1;
+                        }
+                        _ => break,
+                    }
+                }
+            }
+        }
+
+        // Cycle accounting for the main thread (Figure 10 categories).
+        if self.effective_roi() {
+            self.result.cycles_account(main_issued, main_stall, &self.threads[0], self.cycle);
+            self.result.cycles += 1;
+        }
+        halt
+    }
+
+    fn advance_fu_ring(&mut self) {
+        while self.fu_ring_base < self.cycle {
+            self.fu_ring.pop_front();
+            self.fu_ring_base += 1;
+        }
+    }
+
+    /// Book a functional unit of `class` at or after `earliest` (OOO).
+    fn book_fu(&mut self, class: FuClass, earliest: u64) -> u64 {
+        let mut t = earliest.max(self.cycle);
+        loop {
+            let off = (t - self.fu_ring_base) as usize;
+            while self.fu_ring.len() <= off {
+                self.fu_ring.push_back([0; 4]);
+            }
+            if (self.fu_ring[off][class as usize] as usize) < self.fu_limits[class as usize] {
+                self.fu_ring[off][class as usize] += 1;
+                return t;
+            }
+            t += 1;
+        }
+    }
+
+    /// Issue (in-order) or dispatch (OOO) up to `max` instructions from
+    /// thread `tid`. Returns `(issued, stall, halted)`.
+    fn issue_thread(&mut self, tid: usize, max: usize) -> (usize, Option<StallReason>, bool) {
+        let mut count = 0usize;
+        let ooo = self.cfg.pipeline == PipelineKind::OutOfOrder;
+        while count < max {
+            let Some(at) = self.threads[tid].pc else {
+                return (count, None, false);
+            };
+            let op = self.prog.inst(at).op.clone();
+
+            if ooo {
+                if self.threads[tid].rob.len() >= self.cfg.rob_entries {
+                    let head = self.threads[tid].rob.front().copied();
+                    let r = head.map(|e| {
+                        if e.is_load && e.complete_at > self.cycle {
+                            StallReason::RobFull(e.hit)
+                        } else {
+                            StallReason::RobFull(None)
+                        }
+                    });
+                    return (count, r.or(Some(StallReason::RobFull(None))), false);
+                }
+                // RS entries are freed at issue, not completion: only
+                // instructions still waiting for operands occupy one.
+                let waiting = self.threads[tid]
+                    .rob
+                    .iter()
+                    .filter(|e| e.start_at > self.cycle)
+                    .count();
+                if waiting >= self.cfg.rs_entries {
+                    let h = self.threads[tid]
+                        .rob
+                        .iter()
+                        .find(|e| e.is_load && e.complete_at > self.cycle)
+                        .and_then(|e| e.hit);
+                    return (count, Some(StallReason::RsFull(h)), false);
+                }
+            } else {
+                // In-order: all sources must be ready now.
+                let mut uses = Vec::new();
+                op.uses_into(&mut uses);
+                for u in uses {
+                    if self.threads[tid].reg_ready[u.index()] > self.cycle {
+                        return (
+                            count,
+                            Some(StallReason::SrcNotReady(self.threads[tid].reg_src[u.index()])),
+                            false,
+                        );
+                    }
+                }
+            }
+
+            // Functional-unit check (in-order uses per-cycle counters;
+            // OOO books at the computed start time inside exec).
+            let class = fu_class(&op);
+            if !ooo {
+                if self.fu_used[class as usize] >= self.fu_limits[class as usize] {
+                    return (count, Some(StallReason::Structural), false);
+                }
+                self.fu_used[class as usize] += 1;
+            }
+
+            let flow = self.exec_inst(tid, at, &op);
+            count += 1;
+            if tid == 0 && self.effective_roi() {
+                self.result.main_insts += 1;
+            } else if tid != 0 && self.effective_roi() {
+                self.result.spec_insts += 1;
+            }
+            if self.threads[tid].speculative {
+                self.threads[tid].insts += 1;
+                if self.threads[tid].insts > self.cfg.spec_inst_cap {
+                    self.kill_thread(tid);
+                    self.result.runaway_kills += 1;
+                    return (count, None, false);
+                }
+            }
+            match flow {
+                Flow::Continue => {}
+                Flow::Redirect | Flow::ThreadDone => return (count, None, false),
+                Flow::Halt => return (count, None, true),
+            }
+        }
+        (count, None, false)
+    }
+
+    fn next_ref(&self, at: InstRef) -> InstRef {
+        InstRef { idx: at.idx + 1, ..at }
+    }
+
+    fn block_start(&self, func: FuncId, block: BlockId) -> InstRef {
+        InstRef { func, block, idx: 0 }
+    }
+
+    /// Start time of an instruction: current cycle (in-order) or the max
+    /// of its operands' ready times (OOO, perfect renaming).
+    fn start_time(&self, tid: usize, op: &Op) -> u64 {
+        if self.cfg.pipeline == PipelineKind::InOrder {
+            return self.cycle;
+        }
+        let mut t = self.cycle;
+        let mut uses = Vec::new();
+        op.uses_into(&mut uses);
+        for u in uses {
+            t = t.max(self.threads[tid].reg_ready[u.index()]);
+        }
+        t
+    }
+
+    fn finish_write(
+        &mut self,
+        tid: usize,
+        dst: ssp_ir::Reg,
+        value: u64,
+        ready: u64,
+        src: Option<HitWhere>,
+    ) {
+        let t = &mut self.threads[tid];
+        t.rf.write(dst, value);
+        if !dst.is_zero() {
+            t.reg_ready[dst.index()] = ready;
+            t.reg_src[dst.index()] = src;
+        }
+    }
+
+    fn push_rob(
+        &mut self,
+        tid: usize,
+        start_at: u64,
+        complete_at: u64,
+        is_load: bool,
+        hit: Option<HitWhere>,
+    ) {
+        if self.cfg.pipeline == PipelineKind::OutOfOrder {
+            self.threads[tid].rob.push_back(RobEntry { start_at, complete_at, is_load, hit });
+        }
+    }
+
+    fn free_context(&self) -> Option<usize> {
+        self.threads.iter().position(|t| !t.active())
+    }
+
+    fn kill_thread(&mut self, tid: usize) {
+        if let Some(slot) = self.threads[tid].owned_slot.take() {
+            self.lib.free(slot);
+        }
+        let t = &mut self.threads[tid];
+        t.pc = None;
+        t.call_stack.clear();
+        t.rob.clear();
+        t.outstanding.clear();
+        t.insts = 0;
+    }
+
+    /// Timed load path honouring the perfect-memory modes.
+    fn load_access(&mut self, tag: ssp_ir::InstTag, addr: u64, start: u64) -> (u64, HitWhere) {
+        let perfect = match &self.cfg.memory_mode {
+            MemoryMode::Normal => false,
+            MemoryMode::PerfectAll => true,
+            MemoryMode::PerfectDelinquent(set) => set.contains(&tag),
+        };
+        if perfect {
+            (start + self.cfg.l1d.latency, HitWhere::L1)
+        } else {
+            let r = self.hier.access_load(addr, start);
+            (r.ready_at, r.hit)
+        }
+    }
+
+    /// Execute one instruction functionally and apply its timing.
+    fn exec_inst(&mut self, tid: usize, at: InstRef, op: &Op) -> Flow {
+        let ooo = self.cfg.pipeline == PipelineKind::OutOfOrder;
+        let start0 = self.start_time(tid, op);
+        let start = if ooo { self.book_fu(fu_class(op), start0) } else { start0 };
+        let next = self.next_ref(at);
+        let spec = self.threads[tid].speculative;
+
+        match *op {
+            Op::Movi { dst, imm } => {
+                let done = start + self.cfg.int_latency;
+                self.finish_write(tid, dst, imm as u64, done, None);
+                self.push_rob(tid, start, done, false, None);
+                self.threads[tid].pc = Some(next);
+                Flow::Continue
+            }
+            Op::Mov { dst, src } => {
+                let v = self.threads[tid].rf.read(src);
+                let done = start + self.cfg.int_latency;
+                self.finish_write(tid, dst, v, done, None);
+                self.push_rob(tid, start, done, false, None);
+                self.threads[tid].pc = Some(next);
+                Flow::Continue
+            }
+            Op::Alu { kind, dst, a, b } => {
+                let (x, y) = {
+                    let rf = &self.threads[tid].rf;
+                    (rf.read(a), rf.operand(b))
+                };
+                let lat = if kind == ssp_ir::AluKind::Mul {
+                    self.cfg.mul_latency
+                } else {
+                    self.cfg.int_latency
+                };
+                let done = start + lat;
+                self.finish_write(tid, dst, alu_eval(kind, x, y), done, None);
+                self.push_rob(tid, start, done, false, None);
+                self.threads[tid].pc = Some(next);
+                Flow::Continue
+            }
+            Op::Cmp { kind, dst, a, b } => {
+                let (x, y) = {
+                    let rf = &self.threads[tid].rf;
+                    (rf.read(a), rf.operand(b))
+                };
+                let done = start + self.cfg.int_latency;
+                self.finish_write(tid, dst, cmp_eval(kind, x, y), done, None);
+                self.push_rob(tid, start, done, false, None);
+                self.threads[tid].pc = Some(next);
+                Flow::Continue
+            }
+            Op::FAlu { kind, dst, a, b } => {
+                let (x, y) = {
+                    let rf = &self.threads[tid].rf;
+                    (rf.read(a), rf.read(b))
+                };
+                let done = start + self.cfg.fp_latency;
+                self.finish_write(tid, dst, falu_eval(kind, x, y), done, None);
+                self.push_rob(tid, start, done, false, None);
+                self.threads[tid].pc = Some(next);
+                Flow::Continue
+            }
+            Op::Ld { dst, base, off } => {
+                let addr = self.threads[tid].rf.read(base).wrapping_add(off as u64);
+                let v = self.mem.read(addr);
+                let tag = self.prog.inst(at).tag;
+                let (ready, hit) = self.load_access(tag, addr, start);
+                // Hardware stride prefetcher observes demand loads.
+                if self.cfg.memory_mode == MemoryMode::Normal {
+                    if let Some(sp) = self.stride.as_mut() {
+                        for pa in sp.observe(tag, addr) {
+                            self.hier.access_prefetch(pa, start);
+                        }
+                    }
+                }
+                self.finish_write(tid, dst, v, ready, Some(hit));
+                self.push_rob(tid, start, ready, true, Some(hit));
+                if hit.is_l1_miss() && !ooo {
+                    self.threads[tid].outstanding.retain(|&(r, _)| r > self.cycle);
+                    self.threads[tid].outstanding.push((ready, hit));
+                }
+                if self.effective_roi() {
+                    self.result.loads.entry(tag).or_default().record(hit);
+                }
+                self.threads[tid].pc = Some(next);
+                Flow::Continue
+            }
+            Op::St { src, base, off } => {
+                // Speculative threads must never modify memory; the
+                // verifier bans these, and the hardware drops them.
+                if !spec {
+                    let addr = self.threads[tid].rf.read(base).wrapping_add(off as u64);
+                    let v = self.threads[tid].rf.read(src);
+                    self.mem.write(addr, v);
+                    if self.cfg.memory_mode == MemoryMode::Normal {
+                        self.hier.access_store(addr, start);
+                    }
+                }
+                self.push_rob(tid, start, start + 1, false, None);
+                self.threads[tid].pc = Some(next);
+                Flow::Continue
+            }
+            Op::Lfetch { base, off } => {
+                let addr = self.threads[tid].rf.read(base).wrapping_add(off as u64);
+                if self.cfg.memory_mode == MemoryMode::Normal {
+                    self.hier.access_prefetch(addr, start);
+                }
+                self.push_rob(tid, start, start + 1, false, None);
+                self.threads[tid].pc = Some(next);
+                Flow::Continue
+            }
+            Op::Br { target } => {
+                self.push_rob(tid, start, start + 1, false, None);
+                self.threads[tid].pc = Some(self.block_start(at.func, target));
+                Flow::Redirect
+            }
+            Op::BrCond { pred, if_true, if_false } => {
+                let taken = self.threads[tid].rf.read(pred) != 0;
+                let pc_key = static_pc(at.func, at.block, at.idx);
+                let predicted = self.gshare.predict(pc_key);
+                self.gshare.update(pc_key, taken);
+                let resolve = start + 1;
+                self.push_rob(tid, start, resolve, false, None);
+                if tid == 0 && self.effective_roi() {
+                    self.result.branches += 1;
+                }
+                let target = if taken { if_true } else { if_false };
+                self.threads[tid].pc = Some(self.block_start(at.func, target));
+                if predicted != taken {
+                    if tid == 0 && self.effective_roi() {
+                        self.result.mispredicts += 1;
+                    }
+                    self.threads[tid].fetch_ready = resolve + self.cfg.mispredict_penalty;
+                } else if taken {
+                    // Correct direction, but the front end still needs the
+                    // target: a BTB miss costs a short redirect bubble.
+                    let tkey = u64::from(target.0);
+                    if !self.btb.lookup(pc_key, tkey, self.cycle) {
+                        self.btb.record(pc_key, tkey, self.cycle);
+                        self.threads[tid].fetch_ready = self.cycle + 2;
+                    }
+                }
+                Flow::Redirect
+            }
+            Op::Call { callee, .. } => {
+                self.push_rob(tid, start, start + 1, false, None);
+                self.threads[tid].call_stack.push(next);
+                let entry = self.prog.func(callee).entry;
+                self.threads[tid].pc = Some(self.block_start(callee, entry));
+                Flow::Redirect
+            }
+            Op::CallInd { target, .. } => {
+                self.push_rob(tid, start, start + 1, false, None);
+                let v = self.threads[tid].rf.read(target);
+                match FuncId::from_value(v) {
+                    Some(f) if (f.0 as usize) < self.prog.funcs.len() => {
+                        self.threads[tid].call_stack.push(next);
+                        let entry = self.prog.func(f).entry;
+                        self.threads[tid].pc = Some(self.block_start(f, entry));
+                        Flow::Redirect
+                    }
+                    // A wild indirect call: fatal for the main thread,
+                    // silently fatal for a speculative one.
+                    _ if spec => {
+                        self.kill_thread(tid);
+                        Flow::ThreadDone
+                    }
+                    _ => Flow::Halt,
+                }
+            }
+            Op::Ret => {
+                self.push_rob(tid, start, start + 1, false, None);
+                match self.threads[tid].call_stack.pop() {
+                    Some(r) => {
+                        self.threads[tid].pc = Some(r);
+                        Flow::Redirect
+                    }
+                    None if spec => {
+                        self.kill_thread(tid);
+                        Flow::ThreadDone
+                    }
+                    None => Flow::Halt,
+                }
+            }
+            Op::ChkC { stub } => {
+                self.push_rob(tid, start, start + 1, false, None);
+                // The context check also requires a free live-in-buffer
+                // slot — a raise whose stub cannot allocate a slot would
+                // flush the pipe for a spawn that must be dropped.
+                let resources_free =
+                    self.free_context().is_some() && self.lib.busy() < self.cfg.lib_slots;
+                if !spec && resources_free {
+                    // Raise: pipeline flush, recovery code = stub block.
+                    self.result.spawns_fired += 1;
+                    self.threads[tid].fetch_ready = start + self.cfg.spawn_flush_penalty;
+                    self.threads[tid].pc = Some(self.block_start(at.func, stub));
+                    Flow::Redirect
+                } else {
+                    if !spec {
+                        self.result.spawns_suppressed += 1;
+                    }
+                    self.threads[tid].pc = Some(next);
+                    Flow::Continue
+                }
+            }
+            Op::Spawn { entry, slot } => {
+                self.push_rob(tid, start, start + 1, false, None);
+                let slot_val = self.threads[tid].rf.read(slot);
+                if slot_val != LIB_NO_SLOT {
+                    if let Some(child) = self.free_context() {
+                        let ready = start + self.cfg.spawn_latency;
+                        let child_pc = self.block_start(at.func, entry);
+                        let t = &mut self.threads[child];
+                        *t = Thread::new();
+                        t.rf.write(conv::SLOT, slot_val);
+                        t.reg_ready = [ready; NUM_REGS];
+                        t.fetch_ready = ready;
+                        t.speculative = true;
+                        t.owned_slot = Some(slot_val);
+                        t.pc = Some(child_pc);
+                        self.result.threads_spawned += 1;
+                    } else {
+                        self.lib.free(slot_val);
+                        self.result.spawns_dropped += 1;
+                    }
+                } else {
+                    self.result.spawns_dropped += 1;
+                }
+                self.threads[tid].pc = Some(next);
+                Flow::Continue
+            }
+            Op::LibAlloc { dst } => {
+                let s = self.lib.alloc();
+                let done = start + self.cfg.lib_latency;
+                self.finish_write(tid, dst, s, done, None);
+                self.push_rob(tid, start, done, false, None);
+                self.threads[tid].pc = Some(next);
+                Flow::Continue
+            }
+            Op::LibSt { slot, idx, src } => {
+                let (s, v) = {
+                    let rf = &self.threads[tid].rf;
+                    (rf.read(slot), rf.read(src))
+                };
+                self.lib.write(s, idx, v);
+                self.push_rob(tid, start, start + self.cfg.lib_latency, false, None);
+                self.threads[tid].pc = Some(next);
+                Flow::Continue
+            }
+            Op::LibLd { dst, slot, idx } => {
+                let s = self.threads[tid].rf.read(slot);
+                let v = self.lib.read(s, idx);
+                let done = start + self.cfg.lib_latency;
+                self.finish_write(tid, dst, v, done, None);
+                self.push_rob(tid, start, done, false, None);
+                self.threads[tid].pc = Some(next);
+                Flow::Continue
+            }
+            Op::LibFree { slot } => {
+                let s = self.threads[tid].rf.read(slot);
+                self.lib.free(s);
+                if self.threads[tid].owned_slot == Some(s) {
+                    self.threads[tid].owned_slot = None;
+                }
+                self.push_rob(tid, start, start + self.cfg.lib_latency, false, None);
+                self.threads[tid].pc = Some(next);
+                Flow::Continue
+            }
+            Op::KillThread => {
+                if spec {
+                    self.kill_thread(tid);
+                    Flow::ThreadDone
+                } else {
+                    // The main thread ending via kill ends the run.
+                    Flow::Halt
+                }
+            }
+            Op::RoiBegin => {
+                self.in_roi = true;
+                self.threads[tid].pc = Some(next);
+                Flow::Continue
+            }
+            Op::RoiEnd => {
+                self.in_roi = false;
+                self.threads[tid].pc = Some(next);
+                Flow::Continue
+            }
+            Op::Halt => Flow::Halt,
+            Op::Nop => {
+                self.push_rob(tid, start, start + 1, false, None);
+                self.threads[tid].pc = Some(next);
+                Flow::Continue
+            }
+        }
+    }
+}
+
+impl SimResult {
+    /// Classify one cycle of main-thread progress.
+    fn cycles_account(
+        &mut self,
+        main_issued: usize,
+        main_stall: Option<StallReason>,
+        main: &Thread,
+        now: u64,
+    ) {
+        let b = &mut self.breakdown;
+        if main_issued > 0 {
+            if main.has_outstanding_miss(now) {
+                b.cache_exec += 1;
+            } else {
+                b.exec += 1;
+            }
+            return;
+        }
+        let hit = match main_stall {
+            Some(StallReason::SrcNotReady(h))
+            | Some(StallReason::RobFull(h))
+            | Some(StallReason::RsFull(h)) => h,
+            _ => None,
+        };
+        match hit {
+            Some(HitWhere::Mem) | Some(HitWhere::MemPartial) => b.l3_miss += 1,
+            Some(HitWhere::L3) | Some(HitWhere::L3Partial) => b.l2_miss += 1,
+            Some(HitWhere::L2) | Some(HitWhere::L2Partial) => b.l1_miss += 1,
+            _ => b.other += 1,
+        }
+    }
+}
+
+/// Run `prog` on the machine described by `cfg`.
+pub fn simulate(prog: &Program, cfg: &MachineConfig) -> SimResult {
+    Engine::new(prog, cfg).run()
+}

@@ -1,0 +1,137 @@
+//! Pure-value evaluation helpers shared by the timed engine and the fast
+//! functional profiler.
+
+use ssp_ir::{AluKind, CmpKind, FAluKind, Operand, Reg};
+
+/// A thread's architectural register file.
+#[derive(Clone, Debug)]
+pub struct RegFile {
+    regs: [u64; ssp_ir::reg::NUM_REGS],
+}
+
+impl Default for RegFile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RegFile {
+    /// All-zero register file.
+    pub fn new() -> Self {
+        RegFile { regs: [0; ssp_ir::reg::NUM_REGS] }
+    }
+
+    /// Read `r` (`r0` always reads 0).
+    #[inline]
+    pub fn read(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Write `r` (writes to `r0` are discarded).
+    #[inline]
+    pub fn write(&mut self, r: Reg, v: u64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// Read an operand.
+    #[inline]
+    pub fn operand(&self, o: Operand) -> u64 {
+        match o {
+            Operand::Reg(r) => self.read(r),
+            Operand::Imm(i) => i as u64,
+        }
+    }
+}
+
+/// Evaluate an integer ALU operation.
+pub fn alu_eval(kind: AluKind, a: u64, b: u64) -> u64 {
+    match kind {
+        AluKind::Add => a.wrapping_add(b),
+        AluKind::Sub => a.wrapping_sub(b),
+        AluKind::Mul => a.wrapping_mul(b),
+        AluKind::And => a & b,
+        AluKind::Or => a | b,
+        AluKind::Xor => a ^ b,
+        AluKind::Shl => a.wrapping_shl(b as u32 & 63),
+        AluKind::Shr => a.wrapping_shr(b as u32 & 63),
+    }
+}
+
+/// Evaluate a comparison to 0 or 1.
+pub fn cmp_eval(kind: CmpKind, a: u64, b: u64) -> u64 {
+    let r = match kind {
+        CmpKind::Eq => a == b,
+        CmpKind::Ne => a != b,
+        CmpKind::Lt => a < b,
+        CmpKind::Le => a <= b,
+        CmpKind::Gt => a > b,
+        CmpKind::Ge => a >= b,
+        CmpKind::SLt => (a as i64) < (b as i64),
+        CmpKind::SGt => (a as i64) > (b as i64),
+    };
+    u64::from(r)
+}
+
+/// Evaluate an FP operation over `f64` bit patterns.
+pub fn falu_eval(kind: FAluKind, a: u64, b: u64) -> u64 {
+    let (x, y) = (f64::from_bits(a), f64::from_bits(b));
+    let r = match kind {
+        FAluKind::Add => x + y,
+        FAluKind::Sub => x - y,
+        FAluKind::Mul => x * y,
+    };
+    r.to_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regfile_zero_register() {
+        let mut rf = RegFile::new();
+        rf.write(Reg(0), 99);
+        assert_eq!(rf.read(Reg(0)), 0);
+        rf.write(Reg(5), 7);
+        assert_eq!(rf.read(Reg(5)), 7);
+        assert_eq!(rf.operand(Operand::Imm(-1)), u64::MAX);
+        assert_eq!(rf.operand(Operand::Reg(Reg(5))), 7);
+    }
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(alu_eval(AluKind::Add, 3, 4), 7);
+        assert_eq!(alu_eval(AluKind::Sub, 3, 4), u64::MAX);
+        assert_eq!(alu_eval(AluKind::Mul, 6, 7), 42);
+        assert_eq!(alu_eval(AluKind::Shl, 1, 10), 1024);
+        assert_eq!(alu_eval(AluKind::Shr, 1024, 10), 1);
+        assert_eq!(alu_eval(AluKind::Shl, 1, 64), 1, "shift count masked");
+        assert_eq!(alu_eval(AluKind::And, 0b1100, 0b1010), 0b1000);
+        assert_eq!(alu_eval(AluKind::Or, 0b1100, 0b1010), 0b1110);
+        assert_eq!(alu_eval(AluKind::Xor, 0b1100, 0b1010), 0b0110);
+    }
+
+    #[test]
+    fn cmp_semantics_signed_vs_unsigned() {
+        let neg1 = (-1i64) as u64;
+        assert_eq!(cmp_eval(CmpKind::Lt, neg1, 1), 0, "unsigned: MAX > 1");
+        assert_eq!(cmp_eval(CmpKind::SLt, neg1, 1), 1, "signed: -1 < 1");
+        assert_eq!(cmp_eval(CmpKind::Eq, 5, 5), 1);
+        assert_eq!(cmp_eval(CmpKind::Ne, 5, 5), 0);
+        assert_eq!(cmp_eval(CmpKind::Ge, 5, 5), 1);
+        assert_eq!(cmp_eval(CmpKind::Gt, 5, 5), 0);
+        assert_eq!(cmp_eval(CmpKind::Le, 4, 5), 1);
+        assert_eq!(cmp_eval(CmpKind::SGt, 1, neg1), 1);
+    }
+
+    #[test]
+    fn falu_roundtrip() {
+        let a = 1.5f64.to_bits();
+        let b = 2.25f64.to_bits();
+        assert_eq!(f64::from_bits(falu_eval(FAluKind::Add, a, b)), 3.75);
+        assert_eq!(f64::from_bits(falu_eval(FAluKind::Sub, a, b)), -0.75);
+        assert_eq!(f64::from_bits(falu_eval(FAluKind::Mul, a, b)), 3.375);
+    }
+}

@@ -1,0 +1,184 @@
+//! Functional memory: a sparse 64-bit word store, plus the live-in buffer.
+
+use std::collections::HashMap;
+
+/// Sparse simulated memory. Word-granular (8 bytes); unaligned accesses
+/// are rounded down to the containing word, matching the aligned-only
+/// discipline the workloads follow. Unwritten memory reads as zero.
+#[derive(Clone, Debug, Default)]
+pub struct Memory {
+    words: HashMap<u64, u64>,
+}
+
+impl Memory {
+    /// Empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Load the initialized-data image of a program.
+    pub fn load_image(&mut self, image: &[(u64, u64)]) {
+        for &(addr, val) in image {
+            self.write(addr, val);
+        }
+    }
+
+    /// Read the word containing `addr`.
+    pub fn read(&self, addr: u64) -> u64 {
+        self.words.get(&(addr & !7)).copied().unwrap_or(0)
+    }
+
+    /// Write the word containing `addr`.
+    pub fn write(&mut self, addr: u64, val: u64) {
+        self.words.insert(addr & !7, val);
+    }
+
+    /// Number of distinct words ever written.
+    pub fn footprint_words(&self) -> usize {
+        self.words.len()
+    }
+}
+
+/// The live-in buffer: the on-chip RSE backing-store region used to pass
+/// live-in values from a parent thread to its spawned child (§2.1, §3.4.2).
+///
+/// Slots are allocated by `lib.alloc` in the stub block, written by the
+/// parent, handed to the child through the spawn, read by the child, and
+/// released with `lib.free`. If every slot is busy, allocation fails and
+/// the spawn is dropped — mirroring "if a free hardware context is not
+/// available, the spawn request is ignored" for the communication buffer.
+#[derive(Clone, Debug)]
+pub struct LiveInBuffer {
+    slots: Vec<Option<Vec<u64>>>,
+    words_per_slot: u8,
+    /// Total successful allocations (statistics).
+    pub allocs: u64,
+    /// Allocations that failed because all slots were busy.
+    pub alloc_failures: u64,
+}
+
+/// Sentinel slot id returned when allocation fails.
+pub const LIB_NO_SLOT: u64 = u64::MAX;
+
+impl LiveInBuffer {
+    /// A buffer with `slots` slots of `words_per_slot` words each.
+    pub fn new(slots: usize, words_per_slot: u8) -> Self {
+        LiveInBuffer {
+            slots: vec![None; slots],
+            words_per_slot,
+            allocs: 0,
+            alloc_failures: 0,
+        }
+    }
+
+    /// Allocate a slot; returns its id or [`LIB_NO_SLOT`].
+    pub fn alloc(&mut self) -> u64 {
+        match self.slots.iter().position(Option::is_none) {
+            Some(i) => {
+                self.slots[i] = Some(vec![0; self.words_per_slot as usize]);
+                self.allocs += 1;
+                i as u64
+            }
+            None => {
+                self.alloc_failures += 1;
+                LIB_NO_SLOT
+            }
+        }
+    }
+
+    /// Write word `idx` of `slot`. Out-of-range slots/indices and the
+    /// sentinel are ignored (the hardware simply drops the write).
+    pub fn write(&mut self, slot: u64, idx: u8, val: u64) {
+        if idx >= self.words_per_slot {
+            return;
+        }
+        if let Some(Some(words)) = self.slots.get_mut(slot as usize) {
+            words[idx as usize] = val;
+        }
+    }
+
+    /// Read word `idx` of `slot`; 0 for invalid slots (a speculative
+    /// thread reading garbage is a performance problem, not a fault).
+    pub fn read(&self, slot: u64, idx: u8) -> u64 {
+        if idx >= self.words_per_slot {
+            return 0;
+        }
+        match self.slots.get(slot as usize) {
+            Some(Some(words)) => words[idx as usize],
+            _ => 0,
+        }
+    }
+
+    /// Release `slot`. Releasing an invalid or free slot is a no-op.
+    pub fn free(&mut self, slot: u64) {
+        if let Some(s) = self.slots.get_mut(slot as usize) {
+            *s = None;
+        }
+    }
+
+    /// Number of currently busy slots.
+    pub fn busy(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_reads_zero_when_untouched() {
+        let m = Memory::new();
+        assert_eq!(m.read(0x1000), 0);
+    }
+
+    #[test]
+    fn memory_write_read_roundtrip() {
+        let mut m = Memory::new();
+        m.write(0x1000, 42);
+        assert_eq!(m.read(0x1000), 42);
+        assert_eq!(m.read(0x1004), 42, "sub-word address maps to same word");
+        assert_eq!(m.read(0x1008), 0);
+    }
+
+    #[test]
+    fn image_loading() {
+        let mut m = Memory::new();
+        m.load_image(&[(0x100, 1), (0x108, 2)]);
+        assert_eq!(m.read(0x100), 1);
+        assert_eq!(m.read(0x108), 2);
+        assert_eq!(m.footprint_words(), 2);
+    }
+
+    #[test]
+    fn lib_alloc_and_rw() {
+        let mut lib = LiveInBuffer::new(2, 4);
+        let a = lib.alloc();
+        let b = lib.alloc();
+        assert_ne!(a, LIB_NO_SLOT);
+        assert_ne!(b, LIB_NO_SLOT);
+        assert_eq!(lib.alloc(), LIB_NO_SLOT, "only 2 slots");
+        assert_eq!(lib.alloc_failures, 1);
+        lib.write(a, 0, 7);
+        lib.write(a, 3, 9);
+        assert_eq!(lib.read(a, 0), 7);
+        assert_eq!(lib.read(a, 3), 9);
+        assert_eq!(lib.read(b, 0), 0);
+        lib.free(a);
+        assert_eq!(lib.busy(), 1);
+        let c = lib.alloc();
+        assert_eq!(c, a, "freed slot is reused");
+        assert_eq!(lib.read(c, 0), 0, "slot contents cleared on realloc");
+    }
+
+    #[test]
+    fn lib_invalid_ops_are_noops() {
+        let mut lib = LiveInBuffer::new(1, 2);
+        lib.write(LIB_NO_SLOT, 0, 5);
+        assert_eq!(lib.read(LIB_NO_SLOT, 0), 0);
+        lib.free(LIB_NO_SLOT);
+        let a = lib.alloc();
+        lib.write(a, 7, 5); // idx out of range
+        assert_eq!(lib.read(a, 7), 0);
+    }
+}

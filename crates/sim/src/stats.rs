@@ -1,0 +1,205 @@
+//! Simulation statistics: cycle accounting (Figure 10), per-load hit
+//! breakdowns (Figure 9), and spawn/thread counters.
+
+use crate::cache::HitWhere;
+use ssp_ir::InstTag;
+use std::collections::HashMap;
+
+/// Where accesses of one static load were satisfied (Figure 9's bars).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct LoadStats {
+    /// Total executions of the load.
+    pub accesses: u64,
+    /// L1 hits.
+    pub l1: u64,
+    /// Satisfied by L2.
+    pub l2: u64,
+    /// Line in transit from L2.
+    pub l2_partial: u64,
+    /// Satisfied by L3.
+    pub l3: u64,
+    /// Line in transit from L3.
+    pub l3_partial: u64,
+    /// Satisfied by memory.
+    pub mem: u64,
+    /// Line in transit from memory.
+    pub mem_partial: u64,
+}
+
+impl LoadStats {
+    /// Record one access.
+    pub fn record(&mut self, hit: HitWhere) {
+        self.accesses += 1;
+        match hit {
+            HitWhere::L1 => self.l1 += 1,
+            HitWhere::L2 => self.l2 += 1,
+            HitWhere::L2Partial => self.l2_partial += 1,
+            HitWhere::L3 => self.l3 += 1,
+            HitWhere::L3Partial => self.l3_partial += 1,
+            HitWhere::Mem => self.mem += 1,
+            HitWhere::MemPartial => self.mem_partial += 1,
+        }
+    }
+
+    /// L1 misses (everything that wasn't an L1 hit).
+    pub fn l1_misses(&self) -> u64 {
+        self.accesses - self.l1
+    }
+
+    /// L1 miss rate in [0, 1].
+    pub fn l1_miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.l1_misses() as f64 / self.accesses as f64
+        }
+    }
+
+    /// Merge another load's stats into this one.
+    pub fn merge(&mut self, other: &LoadStats) {
+        self.accesses += other.accesses;
+        self.l1 += other.l1;
+        self.l2 += other.l2;
+        self.l2_partial += other.l2_partial;
+        self.l3 += other.l3;
+        self.l3_partial += other.l3_partial;
+        self.mem += other.mem;
+        self.mem_partial += other.mem_partial;
+    }
+}
+
+/// Per-cycle classification of the main thread's progress — the six
+/// categories of Figure 10.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CycleBreakdown {
+    /// No issue; blocked on a load being serviced from memory (an L3 miss).
+    pub l3_miss: u64,
+    /// No issue; blocked on a load being serviced from L3 (an L2 miss).
+    pub l2_miss: u64,
+    /// No issue; blocked on a load being serviced from L2 (an L1 miss).
+    pub l1_miss: u64,
+    /// Issued while cache misses were outstanding.
+    pub cache_exec: u64,
+    /// Issued with no outstanding misses.
+    pub exec: u64,
+    /// Everything else: branch bubbles, fetch stalls, spawn flushes,
+    /// structural stalls.
+    pub other: u64,
+}
+
+impl CycleBreakdown {
+    /// Total accounted cycles.
+    pub fn total(&self) -> u64 {
+        self.l3_miss + self.l2_miss + self.l1_miss + self.cache_exec + self.exec + self.other
+    }
+}
+
+/// Complete result of one timed simulation.
+#[derive(Clone, Debug, Default)]
+pub struct SimResult {
+    /// Cycles spent inside the region of interest (whole run if the
+    /// program has no ROI markers).
+    pub cycles: u64,
+    /// Total cycles including any pre/post-ROI execution.
+    pub total_cycles: u64,
+    /// Main-thread instructions executed inside the ROI.
+    pub main_insts: u64,
+    /// Speculative-thread instructions executed inside the ROI.
+    pub spec_insts: u64,
+    /// Per-cycle classification (ROI only).
+    pub breakdown: CycleBreakdown,
+    /// Per-static-load hit statistics (ROI only).
+    pub loads: HashMap<InstTag, LoadStats>,
+    /// `chk.c` executions that found a free context and fired.
+    pub spawns_fired: u64,
+    /// `chk.c` executions that found no free context (behaved as a nop).
+    pub spawns_suppressed: u64,
+    /// `spawn` instructions that actually started a thread.
+    pub threads_spawned: u64,
+    /// `spawn` instructions dropped for want of a free context.
+    pub spawns_dropped: u64,
+    /// Speculative threads killed by the runaway cap.
+    pub runaway_kills: u64,
+    /// Conditional-branch executions in the main thread.
+    pub branches: u64,
+    /// Mispredicted conditional branches in the main thread.
+    pub mispredicts: u64,
+    /// Whether the program reached `halt` (vs. the cycle cap).
+    pub halted: bool,
+}
+
+impl SimResult {
+    /// Main-thread IPC over the ROI.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.main_insts as f64 / self.cycles as f64
+        }
+    }
+
+    /// Aggregate load stats over a set of tags (e.g. the delinquent set).
+    pub fn load_stats_for(&self, tags: &[InstTag]) -> LoadStats {
+        let mut agg = LoadStats::default();
+        for t in tags {
+            if let Some(s) = self.loads.get(t) {
+                agg.merge(s);
+            }
+        }
+        agg
+    }
+
+    /// Aggregate load stats over every static load.
+    pub fn load_stats_all(&self) -> LoadStats {
+        let mut agg = LoadStats::default();
+        for s in self.loads.values() {
+            agg.merge(s);
+        }
+        agg
+    }
+}
+
+/// Speedup of `new` over `base` as a ratio of ROI cycles.
+pub fn speedup(base: &SimResult, new: &SimResult) -> f64 {
+    base.cycles as f64 / new.cycles as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_stats_record_and_rate() {
+        let mut s = LoadStats::default();
+        s.record(HitWhere::L1);
+        s.record(HitWhere::Mem);
+        s.record(HitWhere::MemPartial);
+        s.record(HitWhere::L2);
+        assert_eq!(s.accesses, 4);
+        assert_eq!(s.l1_misses(), 3);
+        assert!((s.l1_miss_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_total() {
+        let b = CycleBreakdown { l3_miss: 1, l2_miss: 2, l1_miss: 3, cache_exec: 4, exec: 5, other: 6 };
+        assert_eq!(b.total(), 21);
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let base = SimResult { cycles: 200, ..Default::default() };
+        let new = SimResult { cycles: 100, ..Default::default() };
+        assert!((speedup(&base, &new) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_aggregates() {
+        let mut a = LoadStats { accesses: 2, l1: 1, mem: 1, ..Default::default() };
+        let b = LoadStats { accesses: 3, l2: 3, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.accesses, 5);
+        assert_eq!(a.l2, 3);
+        assert_eq!(a.l1_misses(), 4);
+    }
+}

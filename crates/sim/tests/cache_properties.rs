@@ -1,0 +1,116 @@
+//! Property-based tests of the cache hierarchy's invariants under random
+//! access streams.
+
+use proptest::prelude::*;
+use ssp_sim::{Hierarchy, HitWhere, MachineConfig};
+
+fn addr_strategy() -> impl Strategy<Value = u64> {
+    // A few hot lines plus a long random tail, 8-byte aligned.
+    prop_oneof![
+        (0u64..8).prop_map(|i| 0x1_0000 + i * 64),
+        (0u64..4096).prop_map(|i| 0x10_0000 + i * 64),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn loads_never_complete_before_l1_latency(
+        addrs in prop::collection::vec(addr_strategy(), 1..200),
+    ) {
+        let cfg = MachineConfig::in_order();
+        let mut h = Hierarchy::new(&cfg);
+        for (t, a) in addrs.into_iter().enumerate() {
+            let t = t as u64;
+            let r = h.access_load(a, t);
+            prop_assert!(
+                r.ready_at >= t + cfg.l1d.latency || r.hit != HitWhere::L1,
+                "an L1 hit takes at least the L1 latency"
+            );
+            prop_assert!(r.ready_at >= t, "results are never ready in the past");
+        }
+    }
+
+    #[test]
+    fn repeat_access_after_fill_hits_l1(
+        a in addr_strategy(),
+        gap in 1u64..50,
+    ) {
+        let cfg = MachineConfig::in_order();
+        let mut h = Hierarchy::new(&cfg);
+        let first = h.access_load(a, 0);
+        let again = h.access_load(a, first.ready_at + gap);
+        prop_assert_eq!(again.hit, HitWhere::L1, "line resident after its fill");
+    }
+
+    #[test]
+    fn access_during_fill_is_partial_and_no_later(
+        a in addr_strategy(),
+        frac in 1u64..99,
+    ) {
+        let cfg = MachineConfig::in_order();
+        let mut h = Hierarchy::new(&cfg);
+        let first = h.access_load(a, 0);
+        let mid = first.ready_at * frac / 100;
+        let again = h.access_load(a + 8, mid); // same line
+        // `first.ready_at` includes the TLB-miss penalty; the fill itself
+        // can land earlier, so a late probe may already hit L1. Otherwise
+        // it must be a partial hit that completes no later than the fill.
+        if again.hit != HitWhere::L1 {
+            prop_assert!(matches!(
+                again.hit,
+                HitWhere::MemPartial | HitWhere::L2Partial | HitWhere::L3Partial
+            ));
+            prop_assert!(
+                again.ready_at <= first.ready_at,
+                "piggybacking on the in-flight fill cannot be slower than the fill"
+            );
+        }
+    }
+
+    #[test]
+    fn within_associativity_working_set_stays_resident(
+        ways in 1usize..4,
+    ) {
+        // `ways` distinct lines in one set (stride = sets * line), touched
+        // round-robin: after the first pass everything is an L1 hit.
+        let cfg = MachineConfig::in_order();
+        let mut h = Hierarchy::new(&cfg);
+        let set_stride = (cfg.l1d.num_sets() * cfg.l1d.line) as u64;
+        let addrs: Vec<u64> = (0..ways as u64).map(|i| 0x40_0000 + i * set_stride).collect();
+        let mut t = 0;
+        for &a in &addrs {
+            let r = h.access_load(a, t);
+            t = r.ready_at + 1;
+        }
+        for _ in 0..3 {
+            for &a in &addrs {
+                let r = h.access_load(a, t);
+                prop_assert_eq!(r.hit, HitWhere::L1);
+                t = r.ready_at + 1;
+            }
+        }
+    }
+
+    #[test]
+    fn prefetch_never_slows_down_a_later_load(
+        a in addr_strategy(),
+        delay in 0u64..400,
+    ) {
+        let cfg = MachineConfig::in_order();
+        // Without prefetch.
+        let mut h1 = Hierarchy::new(&cfg);
+        let plain = h1.access_load(a, delay);
+        // With a prefetch at t=0.
+        let mut h2 = Hierarchy::new(&cfg);
+        let _ = h2.access_prefetch(a, 0);
+        let fetched = h2.access_load(a, delay);
+        prop_assert!(
+            fetched.ready_at <= plain.ready_at,
+            "prefetched {} vs plain {}",
+            fetched.ready_at,
+            plain.ready_at
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Bounded-cycle probe of the hand-built SSP program (regression guard
+//! against trigger/stub livelock).
+
+use ssp_ir::reg::conv;
+use ssp_ir::{CmpKind, Operand, Program, ProgramBuilder, Reg};
+use ssp_sim::{simulate, MachineConfig};
+
+const ARCS: u64 = 0x0100_0000;
+const NODES: u64 = 0x0800_0000;
+const N: i64 = 400;
+
+fn pointer_chase_ssp() -> Program {
+    let mut pb = ProgramBuilder::new();
+    for i in 0..N as u64 {
+        let perm = (i * 7919) % N as u64;
+        pb.data_word(ARCS + 64 * i, NODES + 64 * perm);
+        pb.data_word(NODES + 64 * perm, perm);
+    }
+    let mut f = pb.function("main");
+    let e = f.entry_block();
+    let pre = f.new_block();
+    let body = f.new_block();
+    let exit = f.new_block();
+    let stub = f.new_block();
+    let slice = f.new_block();
+    let (arc, k, t, u, v, sum, p) =
+        (Reg(64), Reg(65), Reg(66), Reg(67), Reg(68), Reg(69), Reg(70));
+    f.at(e)
+        .movi(arc, ARCS as i64)
+        .movi(k, ARCS as i64 + 64 * N)
+        .movi(sum, 0)
+        .br(pre);
+    let rest = f.new_block();
+    f.at(pre).br(body);
+    // Trigger block: the `chk.c` fires at most once per loop iteration;
+    // the stub resumes at `rest`, not re-executing the trigger (the
+    // tool's Figure-7 layout after the block split).
+    f.at(body).chk_c(stub).br(rest);
+    f.at(rest)
+        .mov(t, arc)
+        .ld(u, t, 0)
+        .ld(v, u, 0)
+        .add(sum, sum, Operand::Reg(v))
+        .add(arc, arc, 64)
+        .cmp(CmpKind::Lt, p, arc, Operand::Reg(k))
+        .br_cond(p, body, exit);
+    f.at(exit).halt();
+    let slot = Reg(20);
+    f.at(stub)
+        .lib_alloc(slot)
+        .lib_st(slot, 0, arc)
+        .lib_st(slot, 1, k)
+        .spawn(slice, slot)
+        .br(rest);
+    let (st, sk, snext, sp_, su, sslot) = (Reg(30), Reg(31), Reg(32), Reg(33), Reg(34), Reg(35));
+    let spawn_blk = f.new_block();
+    let work = f.new_block();
+    f.at(slice)
+        .lib_ld(st, conv::SLOT, 0)
+        .lib_ld(sk, conv::SLOT, 1)
+        .lib_free(conv::SLOT)
+        .add(snext, st, 64)
+        .cmp(CmpKind::Lt, sp_, snext, Operand::Reg(sk))
+        .br_cond(sp_, spawn_blk, work);
+    f.at(spawn_blk)
+        .lib_alloc(sslot)
+        .lib_st(sslot, 0, snext)
+        .lib_st(sslot, 1, sk)
+        .spawn(slice, sslot)
+        .br(work);
+    f.at(work).ld(su, st, 0).lfetch(su, 0).kill_thread();
+    let main = f.finish();
+    pb.finish_with(main)
+}
+
+#[test]
+fn hand_ssp_terminates_quickly() {
+    let mut cfg = MachineConfig::in_order();
+    cfg.max_cycles = 3_000_000;
+    let r = simulate(&pointer_chase_ssp(), &cfg);
+    println!(
+        "halted={} cycles={} main={} spec={} spawned={} fired={} suppressed={} dropped={} lib_fail?",
+        r.halted, r.cycles, r.main_insts, r.spec_insts, r.threads_spawned,
+        r.spawns_fired, r.spawns_suppressed, r.spawns_dropped
+    );
+    assert!(r.halted, "livelock: {} main insts in {} cycles", r.main_insts, r.total_cycles);
+}

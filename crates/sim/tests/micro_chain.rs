@@ -1,0 +1,223 @@
+//! Micro repro: one chk.c-triggered chain; the chain must spawn links.
+
+use ssp_ir::reg::conv;
+use ssp_ir::{CmpKind, Operand, ProgramBuilder, Reg};
+use ssp_sim::{simulate, MachineConfig};
+
+#[test]
+fn chain_gate_passes_live_in_values() {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main");
+    let e = f.entry_block();
+    let body = f.new_block();
+    let exit = f.new_block();
+    let stub = f.new_block();
+    let slice = f.new_block();
+    let spawn_blk = f.new_block();
+    let work = f.new_block();
+    let (arc, k, i, p) = (Reg(64), Reg(65), Reg(66), Reg(67));
+    f.at(e)
+        .movi(arc, 0x1000)
+        .movi(k, 0x1000 + 64 * 50)
+        .movi(i, 0)
+        .br(body);
+    let rest = f.new_block();
+    f.at(body).chk_c(stub).br(rest);
+    f.at(rest)
+        .add(i, i, 1)
+        .cmp(CmpKind::Lt, p, i, 2000)
+        .br_cond(p, body, exit);
+    f.at(exit).halt();
+    let slot = Reg(20);
+    f.at(stub)
+        .lib_alloc(slot)
+        .lib_st(slot, 0, arc)
+        .lib_st(slot, 1, k)
+        .spawn(slice, slot)
+        .br(rest);
+    let (st, sk, snext, sp_, sslot) = (Reg(30), Reg(31), Reg(32), Reg(33), Reg(35));
+    f.at(slice)
+        .lib_ld(st, conv::SLOT, 0)
+        .lib_ld(sk, conv::SLOT, 1)
+        .lib_free(conv::SLOT)
+        .add(snext, st, 64)
+        .cmp(CmpKind::Lt, sp_, snext, Operand::Reg(sk))
+        .br_cond(sp_, spawn_blk, work);
+    f.at(spawn_blk)
+        .lib_alloc(sslot)
+        .lib_st(sslot, 0, snext)
+        .lib_st(sslot, 1, sk)
+        .spawn(slice, sslot)
+        .br(work);
+    f.at(work).lfetch(st, 0).kill_thread();
+    let main = f.finish();
+    let mut prog = pb.finish_with(main);
+    for b in [stub, slice, spawn_blk, work] {
+        prog.funcs[0].blocks[b.index()].attachment = true;
+    }
+    let mut cfg = MachineConfig::in_order();
+    cfg.max_cycles = 500_000;
+    let r = simulate(&prog, &cfg);
+    println!(
+        "halted={} spawned={} fired={} dropped={} spec_insts={} avg_child={:.1}",
+        r.halted, r.threads_spawned, r.spawns_fired, r.spawns_dropped, r.spec_insts,
+        r.spec_insts as f64 / r.threads_spawned.max(1) as f64
+    );
+    assert!(r.halted);
+    // Chains should spawn many more links than the stub seeds.
+    assert!(
+        r.threads_spawned > r.spawns_fired + 20,
+        "chains never extend: spawned={} fired={}",
+        r.threads_spawned,
+        r.spawns_fired
+    );
+}
+
+
+
+
+
+#[test] // variant: real load in work block
+fn chain_gate_with_real_load() {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main");
+    let e = f.entry_block();
+    let body = f.new_block();
+    let exit = f.new_block();
+    let stub = f.new_block();
+    let slice = f.new_block();
+    let spawn_blk = f.new_block();
+    let work = f.new_block();
+    let (arc, k, i, p) = (Reg(64), Reg(65), Reg(66), Reg(67));
+    f.at(e)
+        .movi(arc, 0x1000)
+        .movi(k, 0x1000 + 64 * 50)
+        .movi(i, 0)
+        .br(body);
+    let rest = f.new_block();
+    f.at(body).chk_c(stub).br(rest);
+    f.at(rest)
+        .add(i, i, 1)
+        .cmp(CmpKind::Lt, p, i, 2000)
+        .br_cond(p, body, exit);
+    f.at(exit).halt();
+    let slot = Reg(20);
+    f.at(stub)
+        .lib_alloc(slot)
+        .lib_st(slot, 0, arc)
+        .lib_st(slot, 1, k)
+        .spawn(slice, slot)
+        .br(rest);
+    let (st, sk, snext, sp_, sslot) = (Reg(30), Reg(31), Reg(32), Reg(33), Reg(35));
+    f.at(slice)
+        .lib_ld(st, conv::SLOT, 0)
+        .lib_ld(sk, conv::SLOT, 1)
+        .lib_free(conv::SLOT)
+        .add(snext, st, 64)
+        .cmp(CmpKind::Lt, sp_, snext, Operand::Reg(sk))
+        .br_cond(sp_, spawn_blk, work);
+    f.at(spawn_blk)
+        .lib_alloc(sslot)
+        .lib_st(sslot, 0, snext)
+        .lib_st(sslot, 1, sk)
+        .spawn(slice, sslot)
+        .br(work);
+    f.at(work).ld(Reg(40), st, 0).lfetch(Reg(40), 0).kill_thread();
+    let main = f.finish();
+    let mut prog = pb.finish_with(main);
+    for b in [stub, slice, spawn_blk, work] {
+        prog.funcs[0].blocks[b.index()].attachment = true;
+    }
+    let mut cfg = MachineConfig::in_order();
+    cfg.max_cycles = 500_000;
+    let r = simulate(&prog, &cfg);
+    println!(
+        "halted={} spawned={} fired={} dropped={} spec_insts={} avg_child={:.1}",
+        r.halted, r.threads_spawned, r.spawns_fired, r.spawns_dropped, r.spec_insts,
+        r.spec_insts as f64 / r.threads_spawned.max(1) as f64
+    );
+    assert!(r.halted);
+    // Chains should spawn many more links than the stub seeds.
+    assert!(
+        r.threads_spawned > r.spawns_fired + 20,
+        "chains never extend: spawned={} fired={}",
+        r.threads_spawned,
+        r.spawns_fired
+    );
+}
+
+/// Variant 3: main body stalls on dependent loads (like the mcf kernel).
+#[test]
+fn chain_gate_with_stalling_main() {
+    let mut pb = ProgramBuilder::new();
+    const ARCS: u64 = 0x0100_0000;
+    const NODES: u64 = 0x0800_0000;
+    const N: i64 = 400;
+    for i in 0..N as u64 {
+        let perm = (i * 7919) % N as u64;
+        pb.data_word(ARCS + 64 * i, NODES + 64 * perm);
+        pb.data_word(NODES + 64 * perm, perm);
+    }
+    let mut f = pb.function("main");
+    let e = f.entry_block();
+    let body = f.new_block();
+    let exit = f.new_block();
+    let stub = f.new_block();
+    let slice = f.new_block();
+    let spawn_blk = f.new_block();
+    let work = f.new_block();
+    let (arc, k, t, u, v, sum, p) =
+        (Reg(64), Reg(65), Reg(66), Reg(67), Reg(68), Reg(69), Reg(70));
+    f.at(e)
+        .movi(arc, ARCS as i64)
+        .movi(k, ARCS as i64 + 64 * N)
+        .movi(sum, 0)
+        .br(body);
+    let rest = f.new_block();
+    f.at(body).chk_c(stub).br(rest);
+    f.at(rest)
+        .mov(t, arc)
+        .ld(u, t, 0)
+        .ld(v, u, 0)
+        .add(sum, sum, Operand::Reg(v))
+        .add(arc, arc, 64)
+        .cmp(CmpKind::Lt, p, arc, Operand::Reg(k))
+        .br_cond(p, body, exit);
+    f.at(exit).halt();
+    let slot = Reg(20);
+    f.at(stub)
+        .lib_alloc(slot)
+        .lib_st(slot, 0, arc)
+        .lib_st(slot, 1, k)
+        .spawn(slice, slot)
+        .br(rest);
+    let (st, sk, snext, sp_, su, sslot) = (Reg(30), Reg(31), Reg(32), Reg(33), Reg(34), Reg(35));
+    f.at(slice)
+        .lib_ld(st, conv::SLOT, 0)
+        .lib_ld(sk, conv::SLOT, 1)
+        .lib_free(conv::SLOT)
+        .add(snext, st, 64)
+        .cmp(CmpKind::Lt, sp_, snext, Operand::Reg(sk))
+        .br_cond(sp_, spawn_blk, work);
+    f.at(spawn_blk)
+        .lib_alloc(sslot)
+        .lib_st(sslot, 0, snext)
+        .lib_st(sslot, 1, sk)
+        .spawn(slice, sslot)
+        .br(work);
+    f.at(work).ld(su, st, 0).lfetch(su, 0).kill_thread();
+    let main = f.finish();
+    let mut prog = pb.finish_with(main);
+    for b in [stub, slice, spawn_blk, work] {
+        prog.funcs[0].blocks[b.index()].attachment = true;
+    }
+    let mut cfg = MachineConfig::in_order();
+    cfg.max_cycles = if std::env::var_os("SSP_TRACE").is_some() { 1500 } else { 1_000_000 };
+    let r = simulate(&prog, &cfg);
+    println!(
+        "v3: halted={} cycles={} main={} spawned={} fired={} dropped={} avg_child={:.1}",
+        r.halted, r.total_cycles, r.main_insts, r.threads_spawned, r.spawns_fired,
+        r.spawns_dropped, r.spec_insts as f64 / r.threads_spawned.max(1) as f64
+    );
+    assert!(r.halted, "livelock");
+}

@@ -1,0 +1,212 @@
+//! Microbenchmark tests pinning the timing model's resource constraints:
+//! issue width, functional-unit limits, dependence serialization, branch
+//! costs, and SMT bandwidth sharing.
+
+use ssp_ir::{CmpKind, Operand, Program, ProgramBuilder, Reg};
+use ssp_sim::{simulate, MachineConfig, SimResult};
+
+/// A loop repeating `body_gen` `iters` times; returns the timed run.
+fn run_loop(
+    iters: i64,
+    body_gen: impl for<'a> Fn(ssp_ir::BlockCursor<'a>) -> ssp_ir::BlockCursor<'a>,
+    cfg: &MachineConfig,
+) -> SimResult {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("micro");
+    let (e, body, exit) = (f.entry_block(), f.new_block(), f.new_block());
+    let (i, p) = (Reg(60), Reg(61));
+    f.at(e).movi(i, 0).br(body);
+    let c = body_gen(f.at(body));
+    c.add(i, i, 1).cmp(CmpKind::Lt, p, i, iters).br_cond(p, body, exit);
+    f.at(exit).halt();
+    let main = f.finish();
+    let prog: Program = pb.finish_with(main);
+    simulate(&prog, cfg)
+}
+
+fn cycles_per_iter(r: &SimResult, iters: i64) -> f64 {
+    r.cycles as f64 / iters as f64
+}
+
+#[test]
+fn independent_alu_ops_reach_issue_width() {
+    // 10 independent movis + loop control: 13 insts/iter at 6-wide issue
+    // with the issue group ending at the taken branch: >= 3 cycles/iter,
+    // and not much more.
+    let cfg = MachineConfig::in_order();
+    let r = run_loop(2000, |c| {
+        let mut c = c;
+        for j in 0..10u16 {
+            c = c.movi(Reg(80 + j), j as i64);
+        }
+        c
+    }, &cfg);
+    let cpi = cycles_per_iter(&r, 2000);
+    assert!(cpi >= 2.9, "13 instructions cannot fit in 2 cycles: {cpi}");
+    assert!(cpi <= 4.5, "issue width must be exploited: {cpi}");
+}
+
+#[test]
+fn dependent_chain_serializes_in_order() {
+    // A 10-deep add chain: in-order pays the full dependence height.
+    let cfg = MachineConfig::in_order();
+    let r = run_loop(2000, |c| {
+        let mut c = c.movi(Reg(80), 1);
+        for j in 1..10u16 {
+            c = c.add(Reg(80 + j), Reg(80 + j - 1), 1);
+        }
+        c
+    }, &cfg);
+    let cpi = cycles_per_iter(&r, 2000);
+    assert!(cpi >= 9.5, "10-deep chain costs ~10 cycles: {cpi}");
+}
+
+#[test]
+fn ooo_overlaps_independent_iterations() {
+    // The same dependent chain, but iterations are independent: OOO
+    // overlaps them, in-order cannot.
+    fn gen(c: ssp_ir::BlockCursor<'_>) -> ssp_ir::BlockCursor<'_> {
+        let mut c = c.movi(Reg(80), 1);
+        for j in 1..10u16 {
+            c = c.add(Reg(80 + j), Reg(80 + j - 1), 1);
+        }
+        c
+    }
+    let io = run_loop(2000, gen, &MachineConfig::in_order());
+    let ooo = run_loop(2000, gen, &MachineConfig::out_of_order());
+    assert!(
+        ooo.cycles * 2 < io.cycles,
+        "OOO must overlap iterations: io={} ooo={}",
+        io.cycles,
+        ooo.cycles
+    );
+}
+
+#[test]
+fn fp_units_limit_fp_throughput() {
+    // 8 independent FP adds per iteration with 2 FP units: >= 4 cycles of
+    // FP issue alone.
+    let cfg = MachineConfig::in_order();
+    let r = run_loop(2000, |c| {
+        let mut c = c;
+        for j in 0..8u16 {
+            c = c.falu(ssp_ir::FAluKind::Add, Reg(80 + j), Reg(70), Reg(71));
+        }
+        c
+    }, &cfg);
+    let cpi = cycles_per_iter(&r, 2000);
+    assert!(cpi >= 4.0, "8 FP ops / 2 units: {cpi}");
+}
+
+#[test]
+fn mem_ports_limit_load_throughput() {
+    // 6 independent L1-resident loads per iteration with 2 memory ports:
+    // at least 3 cycles of memory issue per iteration.
+    let mut pb = ProgramBuilder::new();
+    for j in 0..6u64 {
+        pb.data_word(0x1000 + 8 * j, j);
+    }
+    let mut f = pb.function("micro");
+    let (e, body, exit) = (f.entry_block(), f.new_block(), f.new_block());
+    let (i, p, base) = (Reg(60), Reg(61), Reg(62));
+    f.at(e).movi(i, 0).movi(base, 0x1000).br(body);
+    let mut c = f.at(body);
+    for j in 0..6u16 {
+        c = c.ld(Reg(80 + j), base, (8 * j) as i64);
+    }
+    c.add(i, i, 1).cmp(CmpKind::Lt, p, i, 2000).br_cond(p, body, exit);
+    f.at(exit).halt();
+    let main = f.finish();
+    let prog = pb.finish_with(main);
+    let r = simulate(&prog, &MachineConfig::in_order());
+    let cpi = cycles_per_iter(&r, 2000);
+    assert!(cpi >= 3.0, "6 loads / 2 ports: {cpi}");
+}
+
+#[test]
+fn mispredicted_branches_cost_the_penalty() {
+    // A data-dependent unpredictable branch (alternating with period 3,
+    // which GSHARE tracks imperfectly through the short loop history) vs
+    // a always-taken loop: the unpredictable version pays more.
+    let cfg = MachineConfig::in_order();
+    let predictable = run_loop(4000, |c| c.movi(Reg(80), 1), &cfg);
+    // Pseudo-random direction from a multiplicative sequence.
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("micro");
+    let (e, body, t_blk, j_blk, exit) =
+        (f.entry_block(), f.new_block(), f.new_block(), f.new_block(), f.new_block());
+    let (i, p, x, b) = (Reg(60), Reg(61), Reg(62), Reg(63));
+    f.at(e).movi(i, 0).movi(x, 12345).br(body);
+    f.at(body)
+        .mul(x, x, 1103515245)
+        .add(x, x, 12345)
+        .alu(ssp_ir::AluKind::Shr, b, x, Operand::Imm(16))
+        .alu(ssp_ir::AluKind::And, b, b, Operand::Imm(1))
+        .cmp(CmpKind::Eq, p, b, 1)
+        .br_cond(p, t_blk, j_blk);
+    f.at(t_blk).movi(Reg(80), 1).br(j_blk);
+    f.at(j_blk)
+        .add(i, i, 1)
+        .cmp(CmpKind::Lt, p, i, 4000)
+        .br_cond(p, body, exit);
+    f.at(exit).halt();
+    let main = f.finish();
+    let prog = pb.finish_with(main);
+    let random = simulate(&prog, &cfg);
+    // The random-branch loop must show a large mispredict count and pay
+    // for it.
+    assert!(
+        random.mispredicts > 1000,
+        "a pseudo-random branch defeats GSHARE: {} mispredicts",
+        random.mispredicts
+    );
+    let cpi_pred = cycles_per_iter(&predictable, 4000);
+    let cpi_rand = cycles_per_iter(&random, 4000);
+    assert!(
+        cpi_rand > cpi_pred + 2.0,
+        "mispredictions must cost cycles: {cpi_pred} vs {cpi_rand}"
+    );
+}
+
+#[test]
+fn smt_thread_shares_bandwidth_without_slowing_stalled_main() {
+    // Main thread blocked on memory misses; a speculative spinner uses
+    // the idle bandwidth. Main's cycles must be ~unchanged vs running
+    // alone (the spinner never displaces a ready main instruction).
+    let build = |with_spinner: bool| {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let (e, body, exit) = (f.entry_block(), f.new_block(), f.new_block());
+        let spin = f.new_block();
+        let (a, x, i, p, slot) = (Reg(60), Reg(61), Reg(62), Reg(63), Reg(20));
+        let mut c = f.at(e).movi(a, 0x200_0000).movi(i, 0);
+        if with_spinner {
+            c = c.lib_alloc(slot).spawn(spin, slot);
+        }
+        c.br(body);
+        f.at(body)
+            .ld(x, a, 0)
+            .add(Reg(64), x, 1) // stall on use
+            .add(a, a, 64)
+            .add(i, i, 1)
+            .cmp(CmpKind::Lt, p, i, 400)
+            .br_cond(p, body, exit);
+        f.at(exit).halt();
+        f.at(spin).add(Reg(30), Reg(30), 1).br(spin);
+        let main = f.finish();
+        let mut prog = pb.finish_with(main);
+        prog.funcs[0].blocks[spin.index()].attachment = true;
+        prog
+    };
+    let mut cfg = MachineConfig::in_order();
+    cfg.spec_inst_cap = u64::MAX / 2; // let the spinner live
+    let alone = simulate(&build(false), &cfg);
+    let shared = simulate(&build(true), &cfg);
+    assert!(shared.spec_insts > 10_000, "the spinner really ran");
+    assert!(
+        (shared.cycles as f64) < alone.cycles as f64 * 1.10,
+        "main-thread priority: {} vs {}",
+        shared.cycles,
+        alone.cycles
+    );
+}

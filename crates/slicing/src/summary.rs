@@ -1,0 +1,248 @@
+//! Slice summaries for interprocedural slicing (§3.1, §3.1.1).
+//!
+//! A summary answers: "which instructions of callee `f` (and its callees)
+//! compute the value of register `r` at `f`'s returns, and which entry
+//! registers does that computation need?" Summaries are cached to
+//! "exploit redundancy in slice computation"; recursive call chains are
+//! resolved with the iterative fixed point of §3.1.1 — an in-progress
+//! summary is approximated by its current value, dependents are recorded,
+//! and recomputation iterates until the worklist drains. Termination is
+//! guaranteed because summaries only grow and the number of static
+//! instructions is finite.
+
+use crate::analysis::Analyses;
+use ssp_ir::reg::conv;
+use ssp_ir::{FuncId, InstRef, Op, Program, Reg};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// What a callee contributes to a slice.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Summary {
+    /// Instructions (in the callee and transitively its callees) that
+    /// compute the requested value.
+    pub insts: BTreeSet<InstRef>,
+    /// Entry registers (arguments) the computation needs.
+    pub needs: BTreeSet<Reg>,
+    /// True when the value's computation could not be fully captured
+    /// (e.g. an unresolved indirect call feeds it); using such a summary
+    /// is a speculation.
+    pub impure: bool,
+}
+
+/// Summary computer with caching and the recursion fixed point.
+#[derive(Debug, Default)]
+pub struct Summaries {
+    cache: HashMap<(FuncId, Reg), Summary>,
+    in_progress: HashSet<(FuncId, Reg)>,
+}
+
+impl Summaries {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The summary for "value of `reg` at returns of `f`", computing (and
+    /// fixing) it as needed.
+    pub fn get(
+        &mut self,
+        prog: &Program,
+        analyses: &mut Analyses,
+        f: FuncId,
+        reg: Reg,
+    ) -> Summary {
+        // Iterate to a fixed point: recursive references see the previous
+        // approximation; repeat until nothing changes.
+        loop {
+            let before = self.cache.get(&(f, reg)).cloned();
+            let computed = self.compute(prog, analyses, f, reg);
+            let changed = before.as_ref() != Some(&computed);
+            self.cache.insert((f, reg), computed.clone());
+            if !changed {
+                return computed;
+            }
+        }
+    }
+
+    fn compute(
+        &mut self,
+        prog: &Program,
+        analyses: &mut Analyses,
+        f: FuncId,
+        reg: Reg,
+    ) -> Summary {
+        if !self.in_progress.insert((f, reg)) {
+            // Recurrence: use the current approximation (possibly empty).
+            return self.cache.get(&(f, reg)).cloned().unwrap_or_default();
+        }
+        let mut out = Summary::default();
+        let func = prog.func(f);
+        // Seed: the requested register at every return site.
+        let mut work: Vec<(InstRef, Reg)> = Vec::new();
+        let mut seen: HashSet<(InstRef, Reg)> = HashSet::new();
+        {
+            let fa = analyses.get(prog, f);
+            for &b in fa.cfg.rpo() {
+                let n = func.block(b).insts.len();
+                if matches!(func.block(b).terminator(), Op::Ret) {
+                    let at = InstRef { func: f, block: b, idx: n - 1 };
+                    work.push((at, reg));
+                }
+            }
+        }
+        while let Some((at, r)) = work.pop() {
+            if !seen.insert((at, r)) {
+                continue;
+            }
+            let defs = {
+                let fa = analyses.get(prog, f);
+                fa.rd.reaching(at.block, at.idx, r)
+            };
+            if defs.is_empty() {
+                // Reaches the function entry: an argument (or caller
+                // state) is needed.
+                out.needs.insert(r);
+                continue;
+            }
+            let mut any_entry = true;
+            for d in &defs {
+                any_entry = false;
+                let dinst = prog.inst(d.at).op.clone();
+                match dinst {
+                    Op::Call { callee, .. } if r == conv::RV => {
+                        // Value produced by a nested call: splice in its
+                        // summary and resolve its needs before the call.
+                        let sub = self.get(prog, analyses, callee, conv::RV);
+                        out.impure |= sub.impure;
+                        out.insts.extend(sub.insts.iter().copied());
+                        out.insts.insert(d.at);
+                        for n in sub.needs {
+                            work.push((d.at, n));
+                        }
+                    }
+                    Op::Call { .. } | Op::CallInd { .. } => {
+                        // A clobbered scratch value (or an indirect call's
+                        // result): cannot capture — speculative.
+                        out.impure = true;
+                    }
+                    _ => {
+                        out.insts.insert(d.at);
+                        let mut uses = Vec::new();
+                        dinst.uses_into(&mut uses);
+                        for u in uses {
+                            if !u.is_zero() {
+                                work.push((d.at, u));
+                            }
+                        }
+                    }
+                }
+            }
+            if any_entry {
+                out.needs.insert(r);
+            }
+        }
+        self.in_progress.remove(&(f, reg));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssp_ir::{AluKind, CmpKind, Operand, ProgramBuilder};
+
+    /// helper(x) { return x + 8 }   — pure, needs arg0.
+    #[test]
+    fn simple_summary() {
+        let mut pb = ProgramBuilder::new();
+        let main_id = pb.declare();
+        let h_id = pb.declare();
+        let mut m = pb.define(main_id, "main");
+        let e = m.entry_block();
+        m.at(e).movi(conv::arg(0), 5).call(h_id, 1).halt();
+        let m = m.finish();
+        let mut h = pb.define(h_id, "helper");
+        let e2 = h.entry_block();
+        h.at(e2).alu(AluKind::Add, conv::RV, conv::arg(0), Operand::Imm(8)).ret();
+        let h = h.finish();
+        pb.install(m);
+        pb.install(h);
+        let prog = pb.finish(main_id);
+        let mut an = Analyses::new();
+        let mut s = Summaries::new();
+        let sum = s.get(&prog, &mut an, h_id, conv::RV);
+        assert!(!sum.impure);
+        assert_eq!(sum.insts.len(), 1, "just the add");
+        assert_eq!(sum.needs.iter().copied().collect::<Vec<_>>(), vec![conv::arg(0)]);
+    }
+
+    /// Recursive: f(x) { if (x < 2) return x; return f(ld(x)) }.
+    #[test]
+    fn recursive_summary_reaches_fixed_point() {
+        let mut pb = ProgramBuilder::new();
+        let main_id = pb.declare();
+        let f_id = pb.declare();
+        let mut m = pb.define(main_id, "main");
+        let e = m.entry_block();
+        m.at(e).movi(conv::arg(0), 0x1000).call(f_id, 1).halt();
+        let m = m.finish();
+
+        let mut f = pb.define(f_id, "walk");
+        let e2 = f.entry_block();
+        let base = f.new_block();
+        let rec = f.new_block();
+        let p = Reg(20);
+        f.at(e2).cmp(CmpKind::Lt, p, conv::arg(0), 2).br_cond(p, base, rec);
+        f.at(base).mov(conv::RV, conv::arg(0)).ret();
+        f.at(rec)
+            .ld(conv::arg(0), conv::arg(0), 0)
+            .call(f_id, 1)
+            .ret();
+        let f = f.finish();
+        pb.install(m);
+        pb.install(f);
+        let prog = pb.finish(main_id);
+        let mut an = Analyses::new();
+        let mut s = Summaries::new();
+        let sum = s.get(&prog, &mut an, f_id, conv::RV);
+        assert!(!sum.impure);
+        assert!(sum.needs.contains(&conv::arg(0)));
+        // Must include the mov, the recursive load, and the recursive call.
+        assert!(sum.insts.len() >= 3, "got {:?}", sum.insts);
+        // Fixed point: asking again returns the identical summary.
+        let again = s.get(&prog, &mut an, f_id, conv::RV);
+        assert_eq!(sum, again);
+    }
+
+    /// Indirect call feeding the result marks the summary impure.
+    #[test]
+    fn indirect_call_is_impure() {
+        let mut pb = ProgramBuilder::new();
+        let main_id = pb.declare();
+        let f_id = pb.declare();
+        let t_id = pb.declare();
+        let mut m = pb.define(main_id, "main");
+        let e = m.entry_block();
+        m.at(e).call(f_id, 0).halt();
+        let m = m.finish();
+        let mut f = pb.define(f_id, "dispatch");
+        let e2 = f.entry_block();
+        f.at(e2)
+            .movi(Reg(20), t_id.as_value() as i64)
+            .call_ind(Reg(20), 0)
+            .ret();
+        let f = f.finish();
+        let mut t = pb.define(t_id, "target");
+        let e3 = t.entry_block();
+        t.at(e3).movi(conv::RV, 9).ret();
+        let t = t.finish();
+        pb.install(m);
+        pb.install(f);
+        pb.install(t);
+        let prog = pb.finish(main_id);
+        let mut an = Analyses::new();
+        let mut s = Summaries::new();
+        let sum = s.get(&prog, &mut an, f_id, conv::RV);
+        assert!(sum.impure, "rv comes through an unresolved indirect call");
+    }
+}

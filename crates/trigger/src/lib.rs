@@ -1,0 +1,19 @@
+//! Trigger placement for speculative precomputation (§3.3).
+//!
+//! Triggers are `chk.c` instructions in the main thread's code that spawn
+//! a p-slice when a hardware context is free. The set of triggers must
+//! form a cut on the control-flow graph so each execution path reaching
+//! the delinquent load carries one trigger, while the communication
+//! (live-in copying) stays minimal.
+//!
+//! Two placers are provided:
+//! * [`placement::place_trigger`] — the paper's conservative dominator
+//!   heuristic (the default in the tool);
+//! * [`mincut::min_cut_triggers`] — the optimal frequency-weighted cut
+//!   via max-flow, for comparison and ablation.
+
+pub mod mincut;
+pub mod placement;
+
+pub use mincut::{min_cut_triggers, MinCutTriggers};
+pub use placement::{combine_triggers, place_trigger, TriggerPoint, TriggerStyle};

@@ -1,0 +1,284 @@
+//! The optimal trigger-placement formulation (§3.3): finding the minimum
+//! frequency-weighted cut between the program entry and the delinquent
+//! load, "by representing cost as capacity" and running max-flow.
+//!
+//! We use Dinic's algorithm (polynomial, as the paper requires of the
+//! Goldberg–Tarjan mapping) on the CFG with edge capacity
+//! `frequency(edge) × trigger_cost`. Infrequent edges are filtered in a
+//! pre-pass by flooring their capacity to zero — they then join the cut
+//! for free, which is exactly "filtered out": paths through them get a
+//! (never-firing) trigger at no cost.
+
+use ssp_ir::cfg::Cfg;
+use ssp_ir::{BlockId, FuncId};
+use ssp_sim::Profile;
+use std::collections::HashMap;
+
+/// A directed flow network on block ids.
+#[derive(Clone, Debug, Default)]
+struct FlowNet {
+    /// adjacency: node -> list of edge indices
+    adj: HashMap<u32, Vec<usize>>,
+    /// edges: (from, to, residual capacity); reverse edges interleaved.
+    edges: Vec<(u32, u32, u64)>,
+}
+
+impl FlowNet {
+    fn add_edge(&mut self, from: u32, to: u32, cap: u64) {
+        let i = self.edges.len();
+        self.edges.push((from, to, cap));
+        self.edges.push((to, from, 0));
+        self.adj.entry(from).or_default().push(i);
+        self.adj.entry(to).or_default().push(i + 1);
+    }
+
+    /// Dinic max-flow from `s` to `t`; returns the flow value.
+    fn max_flow(&mut self, s: u32, t: u32) -> u64 {
+        let mut total = 0u64;
+        loop {
+            // BFS levels on the residual graph.
+            let mut level: HashMap<u32, u32> = HashMap::new();
+            level.insert(s, 0);
+            let mut queue = std::collections::VecDeque::from([s]);
+            while let Some(v) = queue.pop_front() {
+                for &ei in self.adj.get(&v).into_iter().flatten() {
+                    let (_, to, residual) = self.edges[ei];
+                    if residual > 0 && !level.contains_key(&to) {
+                        level.insert(to, level[&v] + 1);
+                        queue.push_back(to);
+                    }
+                }
+            }
+            if !level.contains_key(&t) {
+                return total;
+            }
+            // DFS blocking flow.
+            let mut iter: HashMap<u32, usize> = HashMap::new();
+            loop {
+                let pushed = self.dfs(s, t, u64::MAX, &level, &mut iter);
+                if pushed == 0 {
+                    break;
+                }
+                total += pushed;
+            }
+        }
+    }
+
+    fn dfs(
+        &mut self,
+        v: u32,
+        t: u32,
+        limit: u64,
+        level: &HashMap<u32, u32>,
+        iter: &mut HashMap<u32, usize>,
+    ) -> u64 {
+        if v == t {
+            return limit;
+        }
+        let edges_here = self.adj.get(&v).cloned().unwrap_or_default();
+        let start = *iter.entry(v).or_insert(0);
+        for (pos, &ei) in edges_here.iter().enumerate().skip(start) {
+            iter.insert(v, pos);
+            let (_, to, residual) = self.edges[ei];
+            if residual == 0 {
+                continue;
+            }
+            let (Some(&lv), Some(&lt)) = (level.get(&v), level.get(&to)) else { continue };
+            if lt != lv + 1 {
+                continue;
+            }
+            let pushed = self.dfs(to, t, limit.min(residual), level, iter);
+            if pushed > 0 {
+                self.edges[ei].2 -= pushed;
+                self.edges[ei ^ 1].2 += pushed;
+                return pushed;
+            }
+        }
+        iter.insert(v, edges_here.len());
+        0
+    }
+
+}
+
+/// Result of the min-cut formulation: CFG edges to place triggers on and
+/// the total weighted cost of the cut.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MinCutTriggers {
+    /// Cut edges `(from, to)`: a trigger belongs on each.
+    pub edges: Vec<(BlockId, BlockId)>,
+    /// Σ frequency × cost over the cut.
+    pub cost: u64,
+}
+
+/// Compute the minimum-cost trigger cut between the function entry and
+/// `load_block`, with per-edge cost `frequency × trigger_cost`. Edges
+/// executed fewer than `min_edge_freq` times are filtered (cuttable for
+/// free). Self-loops into `load_block` (the loop back edge) are included
+/// as paths: a trigger on the back edge fires once per iteration.
+pub fn min_cut_triggers(
+    func: FuncId,
+    cfg: &Cfg,
+    entry: BlockId,
+    load_block: BlockId,
+    profile: &Profile,
+    trigger_cost: u64,
+    min_edge_freq: u64,
+) -> MinCutTriggers {
+    // Split the load block into (in = sink, out): paths around a loop
+    // back edge re-reach the load, so edges leaving the load block start
+    // from its `out` twin and the back edge becomes a genuine s-t edge.
+    const OUT: u32 = 0x8000_0000;
+    let from_id = |b: BlockId| if b == load_block { b.0 | OUT } else { b.0 };
+    let mut net = FlowNet::default();
+    for &b in cfg.rpo() {
+        for &s in cfg.succs(b) {
+            let freq = profile.edge_freq.get(&(func, b, s)).copied().unwrap_or(0);
+            let cap = if freq < min_edge_freq { 0 } else { freq.saturating_mul(trigger_cost) };
+            net.add_edge(from_id(b), s.0, cap);
+        }
+    }
+    // Execution continues past the load and may reach it again (loop
+    // back edges), so the post-load point is a second source: every
+    // cyclic path to the load must carry a trigger too. A super source
+    // feeds both the entry and the load block's `out` twin.
+    const SUPER: u32 = 0xFFFF_FFF0;
+    net.add_edge(SUPER, entry.0, u64::MAX / 4);
+    net.add_edge(SUPER, load_block.0 | OUT, u64::MAX / 4);
+    let cost = net.max_flow(SUPER, load_block.0);
+    // Source side of the residual graph.
+    let mut reach = std::collections::HashSet::new();
+    reach.insert(SUPER);
+    let mut queue = std::collections::VecDeque::from([SUPER]);
+    while let Some(v) = queue.pop_front() {
+        for &ei in net.adj.get(&v).into_iter().flatten() {
+            let (_, to, residual) = net.edges[ei];
+            if residual > 0 && reach.insert(to) {
+                queue.push_back(to);
+            }
+        }
+    }
+    let mut edges: Vec<(BlockId, BlockId)> = net
+        .edges
+        .iter()
+        .step_by(2) // skip reverse edges
+        .filter(|&&(f, t, _)| f != SUPER && reach.contains(&f) && !reach.contains(&t))
+        .map(|&(f, t, _)| (BlockId(f & !OUT), BlockId(t & !OUT)))
+        .collect();
+    edges.sort();
+    edges.dedup();
+    MinCutTriggers { edges, cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssp_ir::{CmpKind, ProgramBuilder, Reg};
+
+    /// entry -> a -> load_block; entry -> b -> load_block; a hot, b cold.
+    #[test]
+    fn cut_prefers_cold_side_free_and_cheapest_hot_edges() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        let a = f.new_block();
+        let b = f.new_block();
+        let l = f.new_block();
+        f.at(e).cmp(CmpKind::Lt, Reg(1), Reg(2), 1).br_cond(Reg(1), a, b);
+        f.at(a).br(l);
+        f.at(b).br(l);
+        f.at(l).ld(Reg(3), Reg(4), 0).halt();
+        let main = f.finish();
+        let prog = pb.finish_with(main);
+        let cfg = Cfg::new(prog.func(prog.entry));
+
+        let mut profile = Profile::default();
+        let fid = prog.entry;
+        profile.edge_freq.insert((fid, e, a), 90);
+        profile.edge_freq.insert((fid, e, b), 2); // cold: filtered
+        profile.edge_freq.insert((fid, a, l), 90);
+        profile.edge_freq.insert((fid, b, l), 2);
+
+        let cut = min_cut_triggers(fid, &cfg, e, l, &profile, 10, 5);
+        // The cold path's edges have zero capacity, so the min cut takes
+        // e->b (or b->l) for free plus one of the 90-frequency edges.
+        assert_eq!(cut.cost, 900);
+        assert_eq!(cut.edges.len(), 2);
+        assert!(
+            cut.edges.contains(&(e, a)) || cut.edges.contains(&(a, l)),
+            "one hot edge is cut: {:?}",
+            cut.edges
+        );
+        assert!(
+            cut.edges.contains(&(e, b)) || cut.edges.contains(&(b, l)),
+            "cold path cut for free: {:?}",
+            cut.edges
+        );
+    }
+
+    /// Diamond where one intermediate block has lower total frequency:
+    /// the cut should go through the narrow waist.
+    #[test]
+    fn cut_finds_narrow_waist() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        let x = f.new_block();
+        let y = f.new_block();
+        let w = f.new_block(); // waist
+        let l = f.new_block();
+        f.at(e).cmp(CmpKind::Lt, Reg(1), Reg(2), 1).br_cond(Reg(1), x, y);
+        f.at(x).br(w);
+        f.at(y).br(w);
+        f.at(w).br(l);
+        f.at(l).ld(Reg(3), Reg(4), 0).halt();
+        let main = f.finish();
+        let prog = pb.finish_with(main);
+        let cfg = Cfg::new(prog.func(prog.entry));
+        let fid = prog.entry;
+        let mut profile = Profile::default();
+        profile.edge_freq.insert((fid, e, x), 70);
+        profile.edge_freq.insert((fid, e, y), 70);
+        profile.edge_freq.insert((fid, x, w), 70);
+        profile.edge_freq.insert((fid, y, w), 70);
+        profile.edge_freq.insert((fid, w, l), 100);
+
+        let cut = min_cut_triggers(fid, &cfg, e, l, &profile, 1, 1);
+        assert_eq!(cut.edges, vec![(w, l)], "single trigger at the waist");
+        assert_eq!(cut.cost, 100);
+    }
+
+    #[test]
+    fn loop_back_edge_participates() {
+        // entry -> body; body -> body | exit; load in body. The cut
+        // between entry and body must include the back edge (otherwise
+        // iterations 2.. have no trigger on their path).
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.at(e).br(body);
+        f.at(body)
+            .ld(Reg(3), Reg(4), 0)
+            .add(Reg(4), Reg(4), 64)
+            .cmp(CmpKind::Lt, Reg(1), Reg(4), 1000)
+            .br_cond(Reg(1), body, exit);
+        f.at(exit).halt();
+        let main = f.finish();
+        let prog = pb.finish_with(main);
+        let cfg = Cfg::new(prog.func(prog.entry));
+        let fid = prog.entry;
+        let mut profile = Profile::default();
+        profile.edge_freq.insert((fid, e, body), 1);
+        profile.edge_freq.insert((fid, body, body), 99);
+        profile.edge_freq.insert((fid, body, exit), 1);
+
+        let cut = min_cut_triggers(fid, &cfg, e, body, &profile, 1, 1);
+        assert!(cut.edges.contains(&(e, body)));
+        assert!(
+            cut.edges.contains(&(body, body)),
+            "back edge needs its own trigger: {:?}",
+            cut.edges
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! `em3d` — electromagnetic wave propagation on a bipartite graph
+//! (Olden). E-nodes form a linked list; each holds `K` pointers to
+//! scattered H-nodes plus coefficients, and the compute phase does
+//! `value -= other->value * coeff` per dependency. The dependency value
+//! loads and the list chase are delinquent.
+
+use crate::layout::{rng_for, Scatter, GLOBALS, HEAP};
+use crate::Workload;
+use rand::Rng;
+use ssp_ir::{CmpKind, Operand, ProgramBuilder, Reg};
+
+/// Dependencies per node.
+const K: u64 = 8;
+/// E-node slot: next(+0), value(+8), count(+16), ptrs(+24..), coeffs.
+const ENODE_SLOT: u64 = 192;
+
+/// Build the workload.
+pub fn build(seed: u64) -> Workload {
+    let e_nodes: usize = 300;
+    let h_nodes: usize = 1200;
+    let iters: i64 = 2;
+
+    let mut rng = rng_for("em3d", seed);
+    let mut pb = ProgramBuilder::new();
+
+    // H-nodes: 64-byte slots in the low half of the heap.
+    let mut hs = Scatter::new(HEAP, 8 << 20, 64, h_nodes, &mut rng);
+    let h_addrs: Vec<u64> = (0..h_nodes).map(|_| hs.alloc()).collect();
+    for (i, &a) in h_addrs.iter().enumerate() {
+        pb.data_word(a, f64::from(i as u32).to_bits());
+    }
+    // E-nodes: 192-byte slots in the high half, linked in shuffled order.
+    let mut es = Scatter::new(HEAP + (8 << 20), 8 << 20, ENODE_SLOT, e_nodes, &mut rng);
+    let e_addrs: Vec<u64> = (0..e_nodes).map(|_| es.alloc()).collect();
+    for (i, &a) in e_addrs.iter().enumerate() {
+        let next = if i + 1 < e_nodes { e_addrs[i + 1] } else { 0 };
+        pb.data_word(a, next);
+        pb.data_word(a + 8, 1000.0f64.to_bits());
+        pb.data_word(a + 16, K);
+        for j in 0..K {
+            let dep = h_addrs[rng.gen_range(0..h_nodes)];
+            pb.data_word(a + 24 + 8 * j, dep);
+            pb.data_word(a + 24 + 8 * K + 8 * j, 0.5f64.to_bits());
+        }
+    }
+    pb.data_word(GLOBALS, e_addrs[0]); // list root
+
+    let mut f = pb.function("em3d_compute");
+    let e = f.entry_block();
+    let outer = f.new_block();
+    let nloop = f.new_block();
+    let jloop = f.new_block();
+    let nnext = f.new_block();
+    let iter_end = f.new_block();
+    let exit = f.new_block();
+
+    let (root, it, node, val, j, dep, dv, cf, t, p) = (
+        Reg(64),
+        Reg(65),
+        Reg(66),
+        Reg(67),
+        Reg(68),
+        Reg(69),
+        Reg(70),
+        Reg(71),
+        Reg(72),
+        Reg(73),
+    );
+    f.at(e)
+        .movi(Reg(80), GLOBALS as i64)
+        .ld(root, Reg(80), 0)
+        .movi(it, 0)
+        .br(outer);
+    f.at(outer).mov(node, root).br(nloop);
+    f.at(nloop)
+        .ld(val, node, 8)
+        .movi(j, 0)
+        .br(jloop);
+    f.at(jloop)
+        .shl(t, j, 3)
+        .add(t, t, Operand::Reg(node))
+        .ld(dep, t, 24) // dependency pointer (within the e-node's lines)
+        .ld(dv, dep, 0) // delinquent: scattered H-node value
+        .ld(cf, t, 24 + 8 * K as i64) // coefficient
+        .falu(ssp_ir::FAluKind::Mul, dv, dv, cf)
+        .falu(ssp_ir::FAluKind::Sub, val, val, dv)
+        .add(j, j, 1)
+        .cmp(CmpKind::Lt, p, j, K as i64)
+        .br_cond(p, jloop, nnext);
+    f.at(nnext)
+        .st(val, node, 8)
+        .ld(node, node, 0) // delinquent: list chase
+        .cmp(CmpKind::Ne, p, node, 0)
+        .br_cond(p, nloop, iter_end);
+    f.at(iter_end)
+        .add(it, it, 1)
+        .cmp(CmpKind::SLt, p, it, iters)
+        .br_cond(p, outer, exit);
+    f.at(exit).halt();
+
+    let main = f.finish();
+    Workload { name: "em3d", program: pb.finish_with(main) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssp_sim::{simulate, MachineConfig};
+
+    #[test]
+    fn runs_and_is_memory_bound() {
+        let w = build(1);
+        ssp_ir::verify::verify(&w.program).unwrap();
+        let r = simulate(&w.program, &MachineConfig::in_order());
+        assert!(r.halted);
+        // 300 nodes x 8 deps x 2 iterations of dependency-value loads.
+        let agg = r.load_stats_all();
+        assert!(agg.accesses >= 300 * 8 * 2);
+        assert!(agg.l1_miss_rate() > 0.2, "miss rate {}", agg.l1_miss_rate());
+    }
+
+    #[test]
+    fn inner_loop_dominates_dynamic_instructions() {
+        let w = build(1);
+        let r = simulate(&w.program, &MachineConfig::in_order());
+        // 10 instructions per inner iteration x 8 x 300 x 2 = 48000 plus
+        // outer overhead: the total must be in that ballpark.
+        assert!(r.main_insts > 45_000 && r.main_insts < 60_000, "{}", r.main_insts);
+    }
+}

@@ -1,0 +1,181 @@
+//! `health` — the Colombian health-care simulation (Olden): a 4-ary
+//! hierarchy of villages, each with a linked list of patients whose
+//! records are updated every simulation step. Villages are processed
+//! breadth-first through a worklist; patient records and village
+//! structures are scattered, making the patient-list chase and the
+//! village loads delinquent. The per-village patient walk lives in its
+//! own procedure, giving the slicer an interprocedural boundary (the
+//! situation §4.5 discusses against hand adaptation).
+
+use crate::layout::{rng_for, Scatter, ARRAYS, GLOBALS, HEAP};
+use crate::Workload;
+use rand::Rng;
+use ssp_ir::reg::conv;
+use ssp_ir::{CmpKind, Operand, ProgramBuilder, Reg};
+
+/// Children per village.
+const FANOUT: u64 = 4;
+/// Hierarchy depth (levels).
+const DEPTH: u32 = 4;
+
+/// Build the workload.
+pub fn build(seed: u64) -> Workload {
+    let villages: usize = (0..=DEPTH).map(|d| FANOUT.pow(d) as usize).sum(); // 341
+    let steps: i64 = 2;
+
+    let mut rng = rng_for("health", seed);
+    let mut pb = ProgramBuilder::new();
+
+    // Village: children[0..4] (+0..+24), patients head (+32).
+    let mut vs = Scatter::new(HEAP, 8 << 20, 128, villages, &mut rng);
+    let vaddrs: Vec<u64> = (0..villages).map(|_| vs.alloc()).collect();
+    // Patients: next(+0), time(+8), hosp(+16).
+    let patients_per = 4usize;
+    let mut ps = Scatter::new(HEAP + (8 << 20), 8 << 20, 64, villages * patients_per, &mut rng);
+    for (i, &v) in vaddrs.iter().enumerate() {
+        for c in 0..FANOUT as usize {
+            let child = FANOUT as usize * i + c + 1;
+            let addr = if child < villages { vaddrs[child] } else { 0 };
+            pb.data_word(v + 8 * c as u64, addr);
+        }
+        pb.data_word(v + 40, (i as u64) % 5); // level field
+        // Patient list.
+        let mut head = 0u64;
+        for _ in 0..patients_per {
+            let pa = ps.alloc();
+            pb.data_word(pa, head);
+            pb.data_word(pa + 8, rng.gen_range(0..100));
+            pb.data_word(pa + 16, v);
+            head = pa;
+        }
+        pb.data_word(v + 32, head);
+    }
+    pb.data_word(GLOBALS, vaddrs[0]);
+
+    let main_id = pb.declare();
+    let visit_id = pb.declare();
+
+    // main: per step, breadth-first worklist over villages; for each,
+    // call visit(v), then enqueue the children.
+    let mut m = pb.define(main_id, "main");
+    let e = m.entry_block();
+    let step_b = m.new_block();
+    let wloop = m.new_block();
+    let child_l = m.new_block();
+    let child_push = m.new_block();
+    let child_skip = m.new_block();
+    let wnext = m.new_block();
+    let step_end = m.new_block();
+    let exit = m.new_block();
+
+    let (root, step, headp, tailp, v, c, caddr, p, lvl, stat) = (
+        Reg(64),
+        Reg(65),
+        Reg(66),
+        Reg(67),
+        Reg(68),
+        Reg(69),
+        Reg(70),
+        Reg(71),
+        Reg(72),
+        Reg(73),
+    );
+    m.at(e)
+        .movi(Reg(80), GLOBALS as i64)
+        .ld(root, Reg(80), 0)
+        .movi(step, 0)
+        .movi(stat, 0)
+        .br(step_b);
+    m.at(step_b)
+        .movi(headp, ARRAYS as i64)
+        .movi(tailp, ARRAYS as i64)
+        .st(root, tailp, 0)
+        .add(tailp, tailp, 8)
+        .br(wloop);
+    m.at(wloop)
+        .cmp(CmpKind::Eq, p, headp, Operand::Reg(tailp))
+        .br_cond(p, step_end, child_l);
+    m.at(child_l)
+        .ld(v, headp, 0) // worklist slot (sequential)
+        .add(headp, headp, 8)
+        .ld(lvl, v, 40) // delinquent: village level (first touch of the line)
+        .add(stat, stat, Operand::Reg(lvl))
+        .mov(conv::arg(0), v)
+        .call(visit_id, 1)
+        .movi(c, 0)
+        .br(child_push);
+    m.at(child_push)
+        .shl(caddr, c, 3)
+        .add(caddr, caddr, Operand::Reg(v))
+        .ld(caddr, caddr, 0) // delinquent: village child pointer
+        .cmp(CmpKind::Eq, p, caddr, 0)
+        .br_cond(p, wnext, child_skip);
+    m.at(child_skip)
+        .st(caddr, tailp, 0)
+        .add(tailp, tailp, 8)
+        .add(c, c, 1)
+        .cmp(CmpKind::Lt, p, c, FANOUT as i64)
+        .br_cond(p, child_push, wnext);
+    m.at(wnext).br(wloop);
+    m.at(step_end)
+        .add(step, step, 1)
+        .cmp(CmpKind::SLt, p, step, steps)
+        .br_cond(p, step_b, exit);
+    m.at(exit).movi(Reg(80), GLOBALS as i64).st(stat, Reg(80), 8).halt();
+    let m = m.finish();
+
+    // visit(v): walk the patient list bumping each patient's time.
+    let mut vi = pb.define(visit_id, "check_patients");
+    let e2 = vi.entry_block();
+    let ploop = vi.new_block();
+    let pdone = vi.new_block();
+    let body = vi.new_block();
+    let (pat, t, q) = (Reg(20), Reg(21), Reg(22));
+    vi.at(e2).ld(pat, conv::arg(0), 32).br(ploop);
+    vi.at(ploop).cmp(CmpKind::Eq, q, pat, 0).br_cond(q, pdone, body);
+    vi.at(body)
+        .ld(t, pat, 8) // delinquent: patient time
+        .add(t, t, 1)
+        .st(t, pat, 8)
+        .ld(pat, pat, 0) // delinquent: patient list chase
+        .br(ploop);
+    vi.at(pdone).ret();
+    let vi = vi.finish();
+
+    pb.install(m);
+    pb.install(vi);
+    Workload { name: "health", program: pb.finish(main_id) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssp_sim::{simulate, MachineConfig};
+
+    #[test]
+    fn runs_and_is_memory_bound() {
+        let w = build(1);
+        ssp_ir::verify::verify(&w.program).unwrap();
+        let r = simulate(&w.program, &MachineConfig::in_order());
+        assert!(r.halted);
+        let agg = r.load_stats_all();
+        // 341 villages x (1 head + 4 patients x 2 loads) x 2 steps, plus
+        // child-pointer loads.
+        assert!(agg.accesses >= 341 * 9 * 2);
+        assert!(agg.l1_miss_rate() > 0.2, "miss rate {}", agg.l1_miss_rate());
+    }
+
+    #[test]
+    fn patient_lists_fully_walked() {
+        let w = build(2);
+        let r = simulate(&w.program, &MachineConfig::in_order());
+        // Patient-chase loads: 341 villages x 4 patients x 2 steps each
+        // execute the `ld pat.next`: find a static load with exactly that
+        // dynamic count.
+        let expected = 341 * 4 * 2;
+        assert!(
+            r.loads.values().any(|s| s.accesses == expected),
+            "some load runs {expected} times"
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Heap-layout helpers for the synthetic benchmarks.
+//!
+//! The benchmarks' pointer targets are placed at pseudo-randomly shuffled
+//! slots across a multi-megabyte span, so (a) dependent loads defeat any
+//! stride pattern, and (b) working sets exceed the 3 MB L3 — the
+//! properties that make the original Olden/SPEC programs miss-bound.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Base of the globals area (roots, counts).
+pub const GLOBALS: u64 = 0x0001_0000;
+/// Base of the sequential-arrays region (arc arrays, queues, key arrays).
+pub const ARRAYS: u64 = 0x0010_0000;
+/// Base of the scattered heap.
+pub const HEAP: u64 = 0x1000_0000;
+
+/// A shuffled slot allocator: `count` addresses of `slot_size` bytes
+/// scattered across `span` bytes starting at `base`.
+#[derive(Debug)]
+pub struct Scatter {
+    slots: Vec<u64>,
+    next: usize,
+}
+
+impl Scatter {
+    /// Create the allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span cannot hold `count` slots or `slot_size` is not
+    /// a multiple of 8.
+    pub fn new(base: u64, span: u64, slot_size: u64, count: usize, rng: &mut StdRng) -> Self {
+        assert_eq!(slot_size % 8, 0, "slot size must be word aligned");
+        let capacity = (span / slot_size) as usize;
+        assert!(capacity >= count, "span too small: {capacity} slots < {count}");
+        let mut idx: Vec<usize> = (0..capacity).collect();
+        idx.shuffle(rng);
+        let slots = idx.into_iter().take(count).map(|i| base + i as u64 * slot_size).collect();
+        Scatter { slots, next: 0 }
+    }
+
+    /// Allocate the next scattered slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics when slots are exhausted.
+    pub fn alloc(&mut self) -> u64 {
+        let a = self.slots[self.next];
+        self.next += 1;
+        a
+    }
+
+    /// Remaining slots.
+    pub fn remaining(&self) -> usize {
+        self.slots.len() - self.next
+    }
+}
+
+/// A deterministic RNG for workload `name` and `seed`.
+pub fn rng_for(name: &str, seed: u64) -> StdRng {
+    let mut h = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for b in name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn scatter_unique_aligned_in_range() {
+        let mut rng = rng_for("test", 1);
+        let mut s = Scatter::new(HEAP, 1 << 20, 64, 1000, &mut rng);
+        let mut seen = HashSet::new();
+        for _ in 0..1000 {
+            let a = s.alloc();
+            assert!((HEAP..HEAP + (1 << 20)).contains(&a));
+            assert_eq!(a % 64, 0);
+            assert!(seen.insert(a), "no duplicates");
+        }
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn scatter_is_deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut rng = rng_for("x", 7);
+            let mut s = Scatter::new(HEAP, 1 << 16, 64, 10, &mut rng);
+            (0..10).map(|_| s.alloc()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = rng_for("x", 7);
+            let mut s = Scatter::new(HEAP, 1 << 16, 64, 10, &mut rng);
+            (0..10).map(|_| s.alloc()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut rng = rng_for("x", 8);
+            let mut s = Scatter::new(HEAP, 1 << 16, 64, 10, &mut rng);
+            (0..10).map(|_| s.alloc()).collect()
+        };
+        assert_ne!(a, c, "different seed, different layout");
+    }
+
+    #[test]
+    #[should_panic(expected = "span too small")]
+    fn scatter_rejects_tiny_span() {
+        let mut rng = rng_for("y", 1);
+        let _ = Scatter::new(HEAP, 640, 64, 100, &mut rng);
+    }
+}

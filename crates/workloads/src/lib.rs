@@ -1,0 +1,99 @@
+//! Synthetic pointer-intensive benchmark programs for the SSP
+//! reproduction — the seven programs of §4.1, rebuilt in the [`ssp_ir`]
+//! instruction set with pseudo-randomly scattered heaps (see DESIGN.md's
+//! substitution table for what each stands in for):
+//!
+//! * [`em3d`] — electromagnetic propagation (Olden)
+//! * [`health`] — health-care simulation (Olden)
+//! * [`mst`] — minimum spanning tree hash lookups (Olden)
+//! * [`treeadd::build_df`] / [`treeadd::build_bf`] — depth-first and
+//!   breadth-first tree reductions (Olden, the paper's two variants)
+//! * [`mcf`] — network-simplex reduced-cost scan (SPEC CPU2000)
+//! * [`vpr`] — FPGA placement move evaluation (SPEC CPU2000)
+//!
+//! Every builder is deterministic in its seed, so profiles, adaptation,
+//! and simulation are exactly reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! let suite = ssp_workloads::suite(42);
+//! assert_eq!(suite.len(), 7);
+//! for w in &suite {
+//!     ssp_ir::verify::verify(&w.program).unwrap();
+//! }
+//! ```
+
+pub mod em3d;
+pub mod health;
+pub mod layout;
+pub mod mcf;
+pub mod mst;
+pub mod treeadd;
+pub mod vpr;
+
+use ssp_ir::Program;
+
+/// A named benchmark program.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Benchmark name as used in the paper's figures.
+    pub name: &'static str,
+    /// The program (with its initialized data image).
+    pub program: Program,
+}
+
+/// The full seven-benchmark suite of §4.1, in the paper's order.
+pub fn suite(seed: u64) -> Vec<Workload> {
+    vec![
+        em3d::build(seed),
+        health::build(seed),
+        mst::build(seed),
+        treeadd::build_df(seed),
+        treeadd::build_bf(seed),
+        mcf::build(seed),
+        vpr::build(seed),
+    ]
+}
+
+/// Look up one benchmark by name.
+pub fn by_name(name: &str, seed: u64) -> Option<Workload> {
+    match name {
+        "em3d" => Some(em3d::build(seed)),
+        "health" => Some(health::build(seed)),
+        "mst" => Some(mst::build(seed)),
+        "treeadd.df" => Some(treeadd::build_df(seed)),
+        "treeadd.bf" => Some(treeadd::build_bf(seed)),
+        "mcf" => Some(mcf::build(seed)),
+        "vpr" => Some(vpr::build(seed)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_paper_order_and_verifies() {
+        let s = suite(1);
+        let names: Vec<&str> = s.iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            vec!["em3d", "health", "mst", "treeadd.df", "treeadd.bf", "mcf", "vpr"]
+        );
+        for w in &s {
+            ssp_ir::verify::verify(&w.program)
+                .unwrap_or_else(|e| panic!("{} fails verification: {e}", w.name));
+        }
+    }
+
+    #[test]
+    fn by_name_matches_suite() {
+        for w in suite(9) {
+            let again = by_name(w.name, 9).unwrap();
+            assert_eq!(w.program, again.program, "{} deterministic", w.name);
+        }
+        assert!(by_name("nope", 1).is_none());
+    }
+}

@@ -1,0 +1,116 @@
+//! `mcf` — combinatorial optimization (SPEC CPU2000 181.mcf).
+//!
+//! Models `primal_bea_map`'s delinquent loop (the paper's Figure 3
+//! example): a sequential array of arcs whose `tail`/`head` pointers lead
+//! to network nodes scattered across an 8 MB heap; the loop computes each
+//! arc's reduced cost from the two node potentials and tracks the most
+//! negative one. The two `potential` loads are the delinquent loads.
+
+use crate::layout::{rng_for, Scatter, ARRAYS, GLOBALS, HEAP};
+use crate::Workload;
+use rand::Rng;
+use ssp_ir::{CmpKind, Operand, ProgramBuilder, Reg};
+
+/// Arc record size (one cache line, like mcf's 64-byte arc struct).
+const ARC_SIZE: u64 = 64;
+
+/// Build the workload.
+pub fn build(seed: u64) -> Workload {
+    let arcs: u64 = 1500;
+    let nodes: usize = 1024;
+    let passes: i64 = 2;
+
+    let mut rng = rng_for("mcf", seed);
+    let mut pb = ProgramBuilder::new();
+
+    // Nodes scattered over 8 MB; node.potential at +0.
+    let mut scatter = Scatter::new(HEAP, 8 << 20, 64, nodes, &mut rng);
+    let node_addrs: Vec<u64> = (0..nodes).map(|_| scatter.alloc()).collect();
+    for (i, &a) in node_addrs.iter().enumerate() {
+        pb.data_word(a, (i as u64) * 3 + 1); // potential
+    }
+    // Arc array: tail(+0), head(+8), cost(+16).
+    for i in 0..arcs {
+        let base = ARRAYS + i * ARC_SIZE;
+        let tail = node_addrs[rng.gen_range(0..nodes)];
+        let head = node_addrs[rng.gen_range(0..nodes)];
+        pb.data_word(base, tail);
+        pb.data_word(base + 8, head);
+        pb.data_word(base + 16, rng.gen_range(0..1000));
+    }
+
+    let mut f = pb.function("primal_bea_map");
+    let e = f.entry_block();
+    let outer = f.new_block();
+    let body = f.new_block();
+    let upd = f.new_block();
+    let cont = f.new_block();
+    let pass_end = f.new_block();
+    let exit = f.new_block();
+
+    let (arc0, k, pass, best, barc) = (Reg(64), Reg(65), Reg(66), Reg(67), Reg(68));
+    let (arc, tail, pot_t, head, pot_h, cost, red, p) =
+        (Reg(70), Reg(71), Reg(72), Reg(73), Reg(74), Reg(75), Reg(76), Reg(77));
+
+    f.at(e)
+        .movi(arc0, ARRAYS as i64)
+        .movi(k, (ARRAYS + arcs * ARC_SIZE) as i64)
+        .movi(pass, 0)
+        .movi(best, i64::MAX)
+        .movi(barc, 0)
+        .br(outer);
+    f.at(outer).mov(arc, arc0).br(body);
+    f.at(body)
+        .ld(tail, arc, 0)
+        .ld(pot_t, tail, 0) // delinquent: tail->potential
+        .ld(head, arc, 8)
+        .ld(pot_h, head, 0) // delinquent: head->potential
+        .ld(cost, arc, 16)
+        .add(red, cost, Operand::Reg(pot_t))
+        .sub(red, red, Operand::Reg(pot_h))
+        .cmp(CmpKind::SLt, p, red, Operand::Reg(best))
+        .br_cond(p, upd, cont);
+    f.at(upd).mov(best, red).mov(barc, arc).br(cont);
+    f.at(cont)
+        .add(arc, arc, ARC_SIZE as i64)
+        .cmp(CmpKind::Lt, p, arc, Operand::Reg(k))
+        .br_cond(p, body, pass_end);
+    f.at(pass_end)
+        .add(pass, pass, 1)
+        .cmp(CmpKind::SLt, p, pass, passes)
+        .br_cond(p, outer, exit);
+    f.at(exit)
+        .movi(Reg(80), GLOBALS as i64)
+        .st(best, Reg(80), 0)
+        .st(barc, Reg(80), 8)
+        .halt();
+
+    let main = f.finish();
+    Workload { name: "mcf", program: pb.finish_with(main) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssp_sim::{simulate, MachineConfig};
+
+    #[test]
+    fn runs_to_completion_and_misses() {
+        let w = build(1);
+        ssp_ir::verify::verify(&w.program).unwrap();
+        let r = simulate(&w.program, &MachineConfig::in_order());
+        assert!(r.halted);
+        let agg = r.load_stats_all();
+        assert!(agg.accesses >= 1500 * 5, "five loads per arc per pass");
+        assert!(agg.l1_miss_rate() > 0.2, "memory bound: {}", agg.l1_miss_rate());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = build(3);
+        let b = build(3);
+        assert_eq!(a.program, b.program);
+        let c = build(4);
+        assert_ne!(a.program.image, c.program.image);
+    }
+}

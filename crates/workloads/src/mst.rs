@@ -1,0 +1,151 @@
+//! `mst` — minimum-spanning-tree (Olden), dominated by hash-table
+//! lookups: each probe hashes a key to a bucket and walks the bucket's
+//! collision chain. Chain entries are scattered across the heap; the
+//! entry key/next loads are delinquent.
+
+use crate::layout::{rng_for, Scatter, ARRAYS, GLOBALS, HEAP};
+use crate::Workload;
+use rand::Rng;
+use ssp_ir::reg::conv;
+use ssp_ir::{AluKind, CmpKind, Operand, ProgramBuilder, Reg};
+
+/// Build the workload.
+pub fn build(seed: u64) -> Workload {
+    let buckets: u64 = 1024; // power of two
+    let entries: usize = 2048;
+    let lookups: u64 = 900;
+
+    let mut rng = rng_for("mst", seed);
+    let mut pb = ProgramBuilder::new();
+
+    // Entries scattered: next(+0), key(+8), weight(+16).
+    let mut sc = Scatter::new(HEAP, 8 << 20, 64, entries, &mut rng);
+    let addrs: Vec<u64> = (0..entries).map(|_| sc.alloc()).collect();
+    // Chain per bucket; bucket heads array lives right after the key
+    // array. Insert each entry at its bucket's head.
+    let heads_base = ARRAYS + lookups * 8;
+    let mut heads = vec![0u64; buckets as usize];
+    let mut keys = Vec::with_capacity(entries);
+    for (i, &a) in addrs.iter().enumerate() {
+        let key = rng.gen_range(1..u32::MAX as u64);
+        let b = (key & (buckets - 1)) as usize;
+        pb.data_word(a, heads[b]); // next = old head
+        pb.data_word(a + 8, key);
+        pb.data_word(a + 16, (i as u64 % 97) + 1);
+        heads[b] = a;
+        keys.push(key);
+    }
+    for (b, &h) in heads.iter().enumerate() {
+        pb.data_word(heads_base + 8 * b as u64, h);
+    }
+    // Lookup sequence: mostly existing keys.
+    for i in 0..lookups {
+        let key = keys[rng.gen_range(0..entries)];
+        pb.data_word(ARRAYS + 8 * i, key);
+    }
+    pb.data_word(GLOBALS, heads_base);
+
+    let main_id = pb.declare();
+    let hash_id = pb.declare();
+    let mut f = pb.define(main_id, "mst_lookup");
+    let e = f.entry_block();
+    let lloop = f.new_block();
+    let chain = f.new_block();
+    let step = f.new_block();
+    let found = f.new_block();
+    let miss = f.new_block();
+    let next_l = f.new_block();
+    let exit = f.new_block();
+
+    let (kp, kend, heads_r, key, b, entry, k2, w, sum, p) = (
+        Reg(64),
+        Reg(65),
+        Reg(66),
+        Reg(67),
+        Reg(68),
+        Reg(69),
+        Reg(70),
+        Reg(71),
+        Reg(72),
+        Reg(73),
+    );
+    f.at(e)
+        .movi(kp, ARRAYS as i64)
+        .movi(kend, (ARRAYS + lookups * 8) as i64)
+        .movi(Reg(80), GLOBALS as i64)
+        .ld(heads_r, Reg(80), 0)
+        .movi(sum, 0)
+        .br(lloop);
+    // The bucket address comes from a small helper, like mst's HashLookup
+    // — the slicer must descend into it, producing an interprocedural
+    // slice (Table 2 reports one for mst).
+    f.at(lloop)
+        .ld(key, kp, 0) // key (sequential array)
+        .mov(conv::arg(0), key)
+        .mov(conv::arg(1), heads_r)
+        .call(hash_id, 2)
+        .mov(b, conv::RV)
+        .ld(entry, b, 0) // bucket head (32 KB array)
+        .br(chain);
+    f.at(chain)
+        .cmp(CmpKind::Eq, p, entry, 0)
+        .br_cond(p, miss, step);
+    let advance = f.new_block();
+    f.at(step)
+        .ld(k2, entry, 8) // delinquent: entry key
+        .cmp(CmpKind::Eq, p, k2, Operand::Reg(key))
+        .br_cond(p, found, advance);
+    // Chain advance: entry = entry->next.
+    f.at(advance).ld(entry, entry, 0).br(chain);
+    f.at(found)
+        .ld(w, entry, 16)
+        .add(sum, sum, Operand::Reg(w))
+        .br(next_l);
+    f.at(miss).br(next_l);
+    f.at(next_l)
+        .add(kp, kp, 8)
+        .cmp(CmpKind::Lt, p, kp, Operand::Reg(kend))
+        .br_cond(p, lloop, exit);
+    f.at(exit).movi(Reg(80), GLOBALS as i64).st(sum, Reg(80), 8).halt();
+    let main = f.finish();
+
+    // hash_addr(key, heads) = heads + 8 * (key & mask)
+    let mut h = pb.define(hash_id, "hash_addr");
+    let he = h.entry_block();
+    h.at(he)
+        .alu(AluKind::And, conv::RV, conv::arg(0), Operand::Imm((buckets - 1) as i64))
+        .shl(conv::RV, conv::RV, 3)
+        .add(conv::RV, conv::RV, Operand::Reg(conv::arg(1)))
+        .ret();
+    let h = h.finish();
+
+    pb.install(main);
+    pb.install(h);
+    Workload { name: "mst", program: pb.finish(main_id) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssp_sim::{simulate, MachineConfig};
+
+    #[test]
+    fn runs_and_is_memory_bound() {
+        let w = build(1);
+        ssp_ir::verify::verify(&w.program).unwrap();
+        let r = simulate(&w.program, &MachineConfig::in_order());
+        assert!(r.halted);
+        let agg = r.load_stats_all();
+        assert!(agg.accesses >= 900 * 3, "at least key + head + one entry per lookup");
+        assert!(agg.l1_miss_rate() > 0.15, "miss rate {}", agg.l1_miss_rate());
+    }
+
+    #[test]
+    fn every_lookup_terminates() {
+        // 900 lookups, each walking a finite chain: bounded instructions.
+        let w = build(2);
+        let r = simulate(&w.program, &MachineConfig::in_order());
+        assert!(r.main_insts > 900 * 10);
+        assert!(r.main_insts < 900 * 60, "chains stay short: {}", r.main_insts);
+    }
+}

@@ -1,0 +1,118 @@
+//! `vpr` — FPGA placement (SPEC CPU2000 175.vpr). Placement's inner loop
+//! evaluates candidate moves: pick a block, chase its net pointer, then
+//! visit the net's pins (pointers back to scattered blocks) to recompute
+//! the bounding-box cost. The net and pin-block loads are delinquent.
+
+use crate::layout::{rng_for, Scatter, ARRAYS, GLOBALS, HEAP};
+use crate::Workload;
+use rand::Rng;
+use ssp_ir::{CmpKind, Operand, ProgramBuilder, Reg};
+
+/// Pins per net.
+const PINS: u64 = 4;
+
+/// Build the workload.
+pub fn build(seed: u64) -> Workload {
+    let blocks: usize = 512;
+    let nets: usize = 512;
+    let moves: u64 = 800;
+
+    let mut rng = rng_for("vpr", seed);
+    let mut pb = ProgramBuilder::new();
+
+    // Blocks: net ptr(+0), x(+8), y(+16). Nets: pin ptrs(+0..8*PINS).
+    let mut bs = Scatter::new(HEAP, 8 << 20, 64, blocks, &mut rng);
+    let baddrs: Vec<u64> = (0..blocks).map(|_| bs.alloc()).collect();
+    let mut ns = Scatter::new(HEAP + (8 << 20), 8 << 20, 64, nets, &mut rng);
+    let naddrs: Vec<u64> = (0..nets).map(|_| ns.alloc()).collect();
+    for &n in &naddrs {
+        for k in 0..PINS {
+            pb.data_word(n + 8 * k, baddrs[rng.gen_range(0..blocks)]);
+        }
+    }
+    for (i, &b) in baddrs.iter().enumerate() {
+        pb.data_word(b, naddrs[rng.gen_range(0..nets)]);
+        pb.data_word(b + 8, (i as u64) % 64);
+        pb.data_word(b + 16, (i as u64 / 64) % 64);
+    }
+    // Move sequence: pointers to blocks (sequential array of scattered
+    // pointers, like vpr's block array indexed by the RNG).
+    for i in 0..moves {
+        pb.data_word(ARRAYS + 8 * i, baddrs[rng.gen_range(0..blocks)]);
+    }
+
+    let mut f = pb.function("try_swap");
+    let e = f.entry_block();
+    let mloop = f.new_block();
+    let ploop = f.new_block();
+    let mnext = f.new_block();
+    let exit = f.new_block();
+
+    let (mp, mend, blk, net, k, pin, x, y, cost, t, p) = (
+        Reg(64),
+        Reg(65),
+        Reg(66),
+        Reg(67),
+        Reg(68),
+        Reg(69),
+        Reg(70),
+        Reg(71),
+        Reg(72),
+        Reg(73),
+        Reg(74),
+    );
+    f.at(e)
+        .movi(mp, ARRAYS as i64)
+        .movi(mend, (ARRAYS + moves * 8) as i64)
+        .movi(cost, 0)
+        .br(mloop);
+    f.at(mloop)
+        .ld(blk, mp, 0) // move target block (sequential array)
+        .ld(net, blk, 0) // delinquent: block -> net
+        .movi(k, 0)
+        .br(ploop);
+    f.at(ploop)
+        .shl(t, k, 3)
+        .add(t, t, Operand::Reg(net))
+        .ld(pin, t, 0) // pin pointer (net's line)
+        .ld(x, pin, 8) // delinquent: pin block x
+        .ld(y, pin, 16) // pin block y (same line)
+        .add(cost, cost, Operand::Reg(x))
+        .add(cost, cost, Operand::Reg(y))
+        .add(k, k, 1)
+        .cmp(CmpKind::Lt, p, k, PINS as i64)
+        .br_cond(p, ploop, mnext);
+    f.at(mnext)
+        .add(mp, mp, 8)
+        .cmp(CmpKind::Lt, p, mp, Operand::Reg(mend))
+        .br_cond(p, mloop, exit);
+    f.at(exit).movi(Reg(80), GLOBALS as i64).st(cost, Reg(80), 0).halt();
+
+    let main = f.finish();
+    Workload { name: "vpr", program: pb.finish_with(main) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssp_sim::{simulate, MachineConfig};
+
+    #[test]
+    fn runs_and_is_memory_bound() {
+        let w = build(1);
+        ssp_ir::verify::verify(&w.program).unwrap();
+        let r = simulate(&w.program, &MachineConfig::in_order());
+        assert!(r.halted);
+        let agg = r.load_stats_all();
+        assert!(agg.accesses >= 800 * (2 + 4 * 3) as u64 - 100);
+        assert!(agg.l1_miss_rate() > 0.1, "miss rate {}", agg.l1_miss_rate());
+    }
+
+    #[test]
+    fn pin_loop_runs_four_times_per_move() {
+        let w = build(1);
+        let r = simulate(&w.program, &MachineConfig::in_order());
+        // 10 insts per pin iteration x 4 x 800 = 32000 plus move overhead.
+        assert!(r.main_insts > 32_000 && r.main_insts < 45_000, "{}", r.main_insts);
+    }
+}

@@ -1,0 +1,138 @@
+//! Workspace integration tests: the whole pipeline over the full
+//! benchmark suite — structural validity, semantics preservation,
+//! determinism, and no-regression guarantees.
+
+use ssp_core::{simulate, MachineConfig, MemoryMode, PostPassTool};
+
+const SEED: u64 = 2002;
+
+#[test]
+fn every_benchmark_adapts_and_verifies() {
+    let tool = PostPassTool::new(MachineConfig::in_order());
+    for w in ssp_workloads::suite(SEED) {
+        let adapted = tool.run(&w.program);
+        ssp_ir::verify::verify(&adapted.program)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        ssp_ir::verify::verify_speculative(&adapted.program)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        // Original tags survive adaptation (profiles stay valid).
+        let orig: std::collections::HashSet<_> =
+            w.program.tag_index().keys().copied().collect();
+        let new: std::collections::HashSet<_> =
+            adapted.program.tag_index().keys().copied().collect();
+        assert!(orig.is_subset(&new), "{}: tags preserved", w.name);
+    }
+}
+
+#[test]
+fn ssp_never_hurts_meaningfully_in_order() {
+    let mc = MachineConfig::in_order();
+    let tool = PostPassTool::new(mc.clone());
+    for w in ssp_workloads::suite(SEED) {
+        let adapted = tool.run(&w.program);
+        let base = simulate(&w.program, &mc);
+        let ssp = simulate(&adapted.program, &mc);
+        assert!(base.halted && ssp.halted, "{} halts", w.name);
+        assert!(
+            ssp.cycles as f64 <= base.cycles as f64 * 1.05,
+            "{}: SSP must not slow the in-order model by >5%: base={} ssp={}",
+            w.name,
+            base.cycles,
+            ssp.cycles
+        );
+    }
+}
+
+#[test]
+fn suite_achieves_meaningful_mean_speedup() {
+    // The paper's headline: large mean in-order speedup across the seven
+    // pointer-intensive benchmarks (87% there; we assert a robust floor).
+    let mc = MachineConfig::in_order();
+    let tool = PostPassTool::new(mc.clone());
+    let mut speedups = Vec::new();
+    for w in ssp_workloads::suite(SEED) {
+        let adapted = tool.run(&w.program);
+        let base = simulate(&w.program, &mc);
+        let ssp = simulate(&adapted.program, &mc);
+        speedups.push(base.cycles as f64 / ssp.cycles as f64);
+    }
+    let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    assert!(mean > 1.35, "mean in-order speedup {mean:.2} must exceed 1.35x");
+    // And at least three benchmarks individually gain >50%.
+    let big = speedups.iter().filter(|&&s| s > 1.5).count();
+    assert!(big >= 3, "at least 3 big winners, got {big} ({speedups:?})");
+}
+
+#[test]
+fn adaptation_preserves_main_thread_semantics() {
+    // Under perfect memory, per-tag load execution counts of the original
+    // instructions must be identical before/after adaptation: SSP may
+    // only add work, never change the main thread's path.
+    let mc = MachineConfig::in_order().with_memory_mode(MemoryMode::PerfectAll);
+    let tool = PostPassTool::new(MachineConfig::in_order());
+    for w in ssp_workloads::suite(SEED) {
+        let adapted = tool.run(&w.program);
+        let base = simulate(&w.program, &mc);
+        let ssp = simulate(&adapted.program, &mc);
+        for (tag, s) in &base.loads {
+            let got = ssp.loads.get(tag).map(|x| x.accesses).unwrap_or(0);
+            assert_eq!(s.accesses, got, "{}: load {tag} count", w.name);
+        }
+    }
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let mc = MachineConfig::in_order();
+    let tool = PostPassTool::new(mc.clone());
+    let w = ssp_workloads::mcf::build(SEED);
+    let a1 = tool.run(&w.program);
+    let a2 = tool.run(&w.program);
+    assert_eq!(a1.program, a2.program, "adaptation is deterministic");
+    let r1 = simulate(&a1.program, &mc);
+    let r2 = simulate(&a1.program, &mc);
+    assert_eq!(r1.cycles, r2.cycles, "simulation is deterministic");
+    assert_eq!(r1.threads_spawned, r2.threads_spawned);
+}
+
+#[test]
+fn ooo_model_beats_in_order_on_all_baselines() {
+    let io = MachineConfig::in_order();
+    let ooo = MachineConfig::out_of_order();
+    for w in ssp_workloads::suite(SEED) {
+        let rio = simulate(&w.program, &io);
+        let rooo = simulate(&w.program, &ooo);
+        assert!(
+            rooo.cycles < rio.cycles,
+            "{}: OOO must beat in-order: {} vs {}",
+            w.name,
+            rooo.cycles,
+            rio.cycles
+        );
+    }
+}
+
+#[test]
+fn delinquent_loads_cover_most_miss_cycles() {
+    // Figure 2's premise: a small set of static loads causes >=90% of
+    // miss cycles.
+    let mc = MachineConfig::in_order();
+    for w in ssp_workloads::suite(SEED) {
+        let profile = ssp_core::profile(&w.program, &mc);
+        let delinquent = profile.delinquent_loads(0.9);
+        assert!(!delinquent.is_empty(), "{} has delinquent loads", w.name);
+        assert!(
+            delinquent.len() <= 8,
+            "{}: delinquency is concentrated ({} loads)",
+            w.name,
+            delinquent.len()
+        );
+        let covered: u64 = delinquent
+            .iter()
+            .filter_map(|t| profile.loads.get(t))
+            .map(|l| l.miss_cycles)
+            .sum();
+        let total: u64 = profile.loads.values().map(|l| l.miss_cycles).sum();
+        assert!(covered * 10 >= total * 9, "{}: >=90% coverage", w.name);
+    }
+}
