@@ -19,9 +19,7 @@ fn bench_model_choice(c: &mut Criterion) {
     let mc = MachineConfig::in_order();
     let mut g = c.benchmark_group("ablation_chaining_vs_basic");
     g.sample_size(10);
-    g.bench_function("mcf/auto", |b| {
-        b.iter(|| ssp_cycles(&w, &mc, AdaptOptions::default()))
-    });
+    g.bench_function("mcf/auto", |b| b.iter(|| ssp_cycles(&w, &mc, AdaptOptions::default())));
     g.bench_function("mcf/forced-basic", |b| {
         let mut o = AdaptOptions::default();
         o.select.force_model = Some(SpModel::Basic);

@@ -12,9 +12,7 @@ fn bench_fig2(c: &mut Criterion) {
     let perfect = io.clone().with_memory_mode(MemoryMode::PerfectAll);
     let mut g = c.benchmark_group("fig2_perfect_memory");
     g.sample_size(10);
-    g.bench_function("mcf/in-order/baseline", |b| {
-        b.iter(|| simulate(&w.program, &io).cycles)
-    });
+    g.bench_function("mcf/in-order/baseline", |b| b.iter(|| simulate(&w.program, &io).cycles));
     g.bench_function("mcf/in-order/perfect-mem", |b| {
         b.iter(|| simulate(&w.program, &perfect).cycles)
     });
@@ -29,18 +27,12 @@ fn bench_fig8(c: &mut Criterion) {
     let adapted = tool.run(&w.program);
     let mut g = c.benchmark_group("fig8_speedups");
     g.sample_size(10);
-    g.bench_function("treeadd.bf/in-order/base", |b| {
-        b.iter(|| simulate(&w.program, &io).cycles)
-    });
+    g.bench_function("treeadd.bf/in-order/base", |b| b.iter(|| simulate(&w.program, &io).cycles));
     g.bench_function("treeadd.bf/in-order/ssp", |b| {
         b.iter(|| simulate(&adapted.program, &io).cycles)
     });
-    g.bench_function("treeadd.bf/ooo/base", |b| {
-        b.iter(|| simulate(&w.program, &ooo).cycles)
-    });
-    g.bench_function("treeadd.bf/ooo/ssp", |b| {
-        b.iter(|| simulate(&adapted.program, &ooo).cycles)
-    });
+    g.bench_function("treeadd.bf/ooo/base", |b| b.iter(|| simulate(&w.program, &ooo).cycles));
+    g.bench_function("treeadd.bf/ooo/ssp", |b| b.iter(|| simulate(&adapted.program, &ooo).cycles));
     g.finish();
 }
 
@@ -71,9 +63,7 @@ fn bench_table2_adaptation(c: &mut Criterion) {
     let mut g = c.benchmark_group("table2_post_pass_tool");
     g.sample_size(10);
     for w in ssp_workloads::suite(SEED) {
-        g.bench_function(w.name, |b| {
-            b.iter(|| tool.run(&w.program).report.slice_count())
-        });
+        g.bench_function(w.name, |b| b.iter(|| tool.run(&w.program).report.slice_count()));
     }
     g.finish();
 }

@@ -14,9 +14,7 @@ fn bench_phases(c: &mut Criterion) {
     let mut g = c.benchmark_group("tool_phases");
     g.sample_size(10);
 
-    g.bench_function("profile", |b| {
-        b.iter(|| ssp_core::profile(&w.program, &mc).loads.len())
-    });
+    g.bench_function("profile", |b| b.iter(|| ssp_core::profile(&w.program, &mc).loads.len()));
 
     let profile = ssp_core::profile(&w.program, &mc);
     let index = w.program.tag_index();

@@ -2,12 +2,18 @@
 //! adapted binary behaved. Not part of the paper's tables; a debugging
 //! aid for the reproduction.
 
-use ssp_core::{simulate, MachineConfig, PostPassTool};
 use ssp_bench::SEED;
+use ssp_core::{simulate, MachineConfig, PostPassTool};
 
 fn main() {
     let mut names: Vec<String> = std::env::args().skip(1).collect();
-    let use_ooo = names.iter().position(|n| n == "--ooo").map(|i| { names.remove(i); }).is_some();
+    let use_ooo = names
+        .iter()
+        .position(|n| n == "--ooo")
+        .map(|i| {
+            names.remove(i);
+        })
+        .is_some();
     let io = if use_ooo { MachineConfig::out_of_order() } else { MachineConfig::in_order() };
     for w in ssp_workloads::suite(SEED) {
         if !names.is_empty() && !names.iter().any(|n| n == w.name) {
@@ -27,8 +33,13 @@ fn main() {
         for s in &adapted.report.slices {
             println!(
                 "  slice: model={:?} len={} live_ins={:?} interproc={} trigger={}:{:?} roots={:?}",
-                s.model, s.slice_len, s.live_ins, s.interprocedural,
-                s.trigger.block, s.trigger.after, s.root_tags
+                s.model,
+                s.slice_len,
+                s.live_ins,
+                s.interprocedural,
+                s.trigger.block,
+                s.trigger.after,
+                s.root_tags
             );
         }
         println!(

@@ -1,7 +1,7 @@
 //! Dump per-root slice plans and the adapted program for one benchmark.
 
-use ssp_core::{MachineConfig, PostPassTool};
 use ssp_bench::SEED;
+use ssp_core::{MachineConfig, PostPassTool};
 use ssp_slicing::{SliceOptions, Slicer};
 
 fn main() {
@@ -14,7 +14,14 @@ fn main() {
     for tag in profile.delinquent_loads(0.9) {
         let root = index[&tag];
         println!("--- root {tag} at {root}: {}", w.program.inst(root).op);
-        match ssp_codegen::plan_for_load(&mut slicer, &w.program, &profile, &io, root, &Default::default()) {
+        match ssp_codegen::plan_for_load(
+            &mut slicer,
+            &w.program,
+            &profile,
+            &io,
+            root,
+            &Default::default(),
+        ) {
             None => println!("    NO PLAN"),
             Some(p) => {
                 println!(

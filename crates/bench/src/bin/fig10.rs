@@ -2,7 +2,7 @@
 //! Cache+Exec, Exec, Other) with and without SSP, on both models, for
 //! em3d, treeadd.df, and vpr — normalized to the baseline in-order run.
 
-use ssp_bench::{run_benchmark, SEED};
+use ssp_bench::{run_suite, SEED};
 use ssp_core::SimResult;
 
 fn row(label: &str, r: &SimResult, norm: f64) {
@@ -22,11 +22,13 @@ fn row(label: &str, r: &SimResult, norm: f64) {
 
 fn main() {
     println!("Figure 10 — cycle breakdown normalized to the baseline in-order model");
-    for name in ["em3d", "treeadd.df", "vpr"] {
-        let w = ssp_workloads::by_name(name, SEED).expect("known benchmark");
-        let run = run_benchmark(&w);
+    let ws: Vec<_> = ["em3d", "treeadd.df", "vpr"]
+        .into_iter()
+        .map(|name| ssp_workloads::by_name(name, SEED).expect("known benchmark"))
+        .collect();
+    for run in run_suite(&ws) {
         let norm = run.base_io.cycles as f64;
-        println!("{name}:");
+        println!("{}:", run.name);
         row("io", &run.base_io, norm);
         row("io+SSP", &run.ssp_io, norm);
         row("ooo", &run.base_ooo, norm);

@@ -1,16 +1,18 @@
 //! Figure 2: speedup when assuming perfect memory vs. when assuming the
 //! delinquent loads always hit the cache, on both machine models.
 
-use ssp_bench::{fig2_row, SEED};
+use ssp_bench::{fig2_rows, SEED};
 
 fn main() {
-    println!("Figure 2 — perfect memory vs. perfect delinquent loads (speedup over same-model baseline)");
+    println!(
+        "Figure 2 — perfect memory vs. perfect delinquent loads (speedup over same-model baseline)"
+    );
     println!(
         "{:<12} {:>12} {:>12} {:>12} {:>12}",
         "benchmark", "perf-mem io", "perf-del io", "perf-mem ooo", "perf-del ooo"
     );
-    for w in ssp_workloads::suite(SEED) {
-        let r = fig2_row(&w);
+    let ws = ssp_workloads::suite(SEED);
+    for r in fig2_rows(&ws) {
         println!(
             "{:<12} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
             r.name, r.perfect_mem_io, r.perfect_del_io, r.perfect_mem_ooo, r.perfect_del_ooo

@@ -1,7 +1,7 @@
 //! Figure 8: speedups of in-order+SSP, the OOO model, and OOO+SSP over
 //! the baseline in-order model, for all seven benchmarks.
 
-use ssp_bench::{mean, pct, run_benchmark, SEED};
+use ssp_bench::{mean, pct, run_suite, SEED};
 
 fn main() {
     println!("Figure 8 — speedups over the baseline in-order model");
@@ -9,8 +9,8 @@ fn main() {
     let mut io_ssp = Vec::new();
     let mut ooo = Vec::new();
     let mut ooo_ssp = Vec::new();
-    for w in ssp_workloads::suite(SEED) {
-        let run = run_benchmark(&w);
+    let ws = ssp_workloads::suite(SEED);
+    for run in run_suite(&ws) {
         println!(
             "{:<12} {:>12.2} {:>8.2} {:>9.2}",
             run.name,

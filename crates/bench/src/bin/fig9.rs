@@ -4,7 +4,7 @@
 //! stacked segments are L2/L3/memory hits, split into full and partial
 //! (line already in transit) hits.
 
-use ssp_bench::{run_benchmark, SEED};
+use ssp_bench::{run_suite, SEED};
 use ssp_core::{LoadStats, SimResult};
 use ssp_ir::InstTag;
 
@@ -28,8 +28,8 @@ fn row(label: &str, s: &LoadStats, miss_pct: f64) {
 
 fn main() {
     println!("Figure 9 — where delinquent loads are satisfied when missing L1");
-    for w in ssp_workloads::suite(SEED) {
-        let run = run_benchmark(&w);
+    let ws = ssp_workloads::suite(SEED);
+    for run in run_suite(&ws) {
         println!("{}:", run.name);
         let delinq = &run.report.delinquent;
         for (label, res) in [

@@ -29,7 +29,8 @@ fn main() {
         let hand_io = simulate(&hand_prog, &io);
         let hand_ooo = simulate(&hand_prog, &ooo);
 
-        let s = |b: &ssp_core::SimResult, n: &ssp_core::SimResult| b.cycles as f64 / n.cycles as f64;
+        let s =
+            |b: &ssp_core::SimResult, n: &ssp_core::SimResult| b.cycles as f64 / n.cycles as f64;
         println!(
             "{:<10} {:>10.2} {:>10.2} {:>11.0}% {:>10.2} {:>10.2}",
             name,

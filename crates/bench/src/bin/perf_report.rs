@@ -1,0 +1,121 @@
+//! `perf_report`: machine-readable performance snapshot of the harness.
+//!
+//! Emits one JSON object on stdout:
+//!   - per-benchmark wall time of each tool phase (profile, adapt) and
+//!     simulator throughput (simulated cycles per wall second),
+//!   - wall time of regenerating Table 2 + Figure 8 serially vs. with
+//!     the parallel runner, the resulting speedup, and whether the two
+//!     runs were bit-identical.
+//!
+//! The JSON is hand-rolled (no serde dependency); run with
+//! `cargo run --release -p ssp-bench --bin perf_report`.
+
+use ssp_bench::{parallel, run_suite_configured, BenchmarkRun, SEED};
+use ssp_core::{simulate, AdaptOptions, MachineConfig, PostPassTool};
+use std::time::Instant;
+
+fn secs(f: impl FnOnce()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64()
+}
+
+fn runs_equal(a: &[BenchmarkRun], b: &[BenchmarkRun]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.name == y.name
+                && x.base_io == y.base_io
+                && x.ssp_io == y.ssp_io
+                && x.base_ooo == y.base_ooo
+                && x.ssp_ooo == y.ssp_ooo
+        })
+}
+
+fn main() {
+    let ws = ssp_workloads::suite(SEED);
+    let io = MachineConfig::in_order();
+    let ooo = MachineConfig::out_of_order();
+    let opts = AdaptOptions::default();
+    let workers = parallel::threads();
+
+    // Per-benchmark tool-phase and simulator timings, measured serially
+    // so the numbers are per-phase wall times, not contended shares.
+    let mut bench_json = Vec::new();
+    for w in &ws {
+        let t0 = Instant::now();
+        let profile = ssp_core::profile(&w.program, &io);
+        let profile_s = t0.elapsed().as_secs_f64();
+
+        let tool = PostPassTool::new(io.clone()).with_options(opts.clone());
+        let t0 = Instant::now();
+        let adapted = tool.run_with_profile(&w.program, profile);
+        let adapt_s = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let base = simulate(&w.program, &io);
+        let sim_s = t0.elapsed().as_secs_f64();
+        let cps = if sim_s > 0.0 { base.total_cycles as f64 / sim_s } else { 0.0 };
+
+        bench_json.push(format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"profile_seconds\": {:.6}, ",
+                "\"adapt_seconds\": {:.6}, \"slices\": {}, ",
+                "\"sim_seconds\": {:.6}, \"simulated_cycles\": {}, ",
+                "\"simulated_cycles_per_second\": {:.0}}}"
+            ),
+            w.name,
+            profile_s,
+            adapt_s,
+            adapted.report.slice_count(),
+            sim_s,
+            base.total_cycles,
+            cps,
+        ));
+    }
+
+    // Table 2 regeneration (adapt every benchmark), serial vs. parallel.
+    let table2 = |workers: usize| {
+        parallel::map_indexed(&ws, workers, |_, w| {
+            PostPassTool::new(io.clone())
+                .with_options(opts.clone())
+                .run(&w.program)
+                .report
+                .slice_count()
+        })
+    };
+    let mut t2_serial = Vec::new();
+    let mut t2_parallel = Vec::new();
+    let table2_serial_s = secs(|| t2_serial = table2(1));
+    let table2_parallel_s = secs(|| t2_parallel = table2(workers));
+
+    // Figure 8 regeneration (adapt + 4 simulations each), serial vs.
+    // parallel, plus the bit-identity check the runner promises.
+    let mut fig8_serial = Vec::new();
+    let mut fig8_parallel = Vec::new();
+    let fig8_serial_s = secs(|| fig8_serial = run_suite_configured(&ws, &opts, &io, &ooo, 1));
+    let fig8_parallel_s =
+        secs(|| fig8_parallel = run_suite_configured(&ws, &opts, &io, &ooo, workers));
+    let identical = t2_serial == t2_parallel && runs_equal(&fig8_serial, &fig8_parallel);
+
+    let serial_s = table2_serial_s + fig8_serial_s;
+    let parallel_s = table2_parallel_s + fig8_parallel_s;
+    let speedup = if parallel_s > 0.0 { serial_s / parallel_s } else { 0.0 };
+
+    println!("{{");
+    println!("  \"seed\": {SEED},");
+    println!("  \"workers\": {workers},");
+    println!("  \"benchmarks\": [");
+    println!("{}", bench_json.join(",\n"));
+    println!("  ],");
+    println!("  \"regeneration\": {{");
+    println!("    \"table2_serial_seconds\": {table2_serial_s:.3},");
+    println!("    \"table2_parallel_seconds\": {table2_parallel_s:.3},");
+    println!("    \"fig8_serial_seconds\": {fig8_serial_s:.3},");
+    println!("    \"fig8_parallel_seconds\": {fig8_parallel_s:.3},");
+    println!("    \"serial_seconds\": {serial_s:.3},");
+    println!("    \"parallel_seconds\": {parallel_s:.3},");
+    println!("    \"speedup\": {speedup:.2},");
+    println!("    \"bit_identical\": {identical}");
+    println!("  }}");
+    println!("}}");
+}

@@ -20,10 +20,8 @@ fn main() {
         let pf = simulate(&w.program, &stride);
         let adapted = tool.run(&w.program);
         let ssp = simulate(&adapted.program, &io);
-        let (a, b) = (
-            base.cycles as f64 / pf.cycles as f64,
-            base.cycles as f64 / ssp.cycles as f64,
-        );
+        let (a, b) =
+            (base.cycles as f64 / pf.cycles as f64, base.cycles as f64 / ssp.cycles as f64);
         println!("{:<12} {:>10.2} {:>8.2}", w.name, a, b);
         s_pf.push(a);
         s_ssp.push(b);

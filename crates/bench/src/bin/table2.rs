@@ -1,7 +1,7 @@
 //! Table 2: slice characteristics — number of slices, interprocedural
 //! slices, average size, average live-in count per benchmark.
 
-use ssp_bench::SEED;
+use ssp_bench::{parallel, SEED};
 use ssp_core::{MachineConfig, PostPassTool};
 
 fn main() {
@@ -10,10 +10,12 @@ fn main() {
         "{:<12} {:>8} {:>16} {:>12} {:>12}",
         "benchmark", "slices", "interproc", "avg size", "avg live-in"
     );
-    let tool = PostPassTool::new(MachineConfig::in_order());
-    for w in ssp_workloads::suite(SEED) {
-        let adapted = tool.run(&w.program);
-        let c = adapted.characteristics(w.name);
+    let ws = ssp_workloads::suite(SEED);
+    let rows = parallel::map_indexed(&ws, parallel::threads(), |_, w| {
+        let tool = PostPassTool::new(MachineConfig::in_order());
+        tool.run(&w.program).characteristics(w.name)
+    });
+    for c in rows {
         println!(
             "{:<12} {:>8} {:>16} {:>12.1} {:>12.1}",
             c.name, c.slices, c.interprocedural, c.average_size, c.average_live_ins

@@ -20,13 +20,15 @@
 
 use ssp_codegen::emit::{insert_triggers, PendingStub};
 use ssp_ir::reg::conv;
-use ssp_ir::{
-    AluKind, Block, BlockId, CmpKind, FuncId, Inst, Op, Operand, Program, Reg,
-};
+use ssp_ir::{AluKind, Block, BlockId, CmpKind, FuncId, Inst, Op, Operand, Program, Reg};
 use ssp_sched::SpModel;
 use ssp_trigger::TriggerPoint;
 
-fn push_block(prog: &mut Program, fid: FuncId, mut make: impl FnMut(&mut Vec<(u32, Op)>)) -> BlockId {
+fn push_block(
+    prog: &mut Program,
+    fid: FuncId,
+    mut make: impl FnMut(&mut Vec<(u32, Op)>),
+) -> BlockId {
     let mut ops: Vec<(u32, Op)> = Vec::new();
     make(&mut ops);
     let insts = ops
@@ -261,8 +263,7 @@ mod tests {
         ];
         for (w, adapt) in cases {
             let hand = adapt(&w.program);
-            let mc = MachineConfig::in_order()
-                .with_memory_mode(ssp_core::MemoryMode::PerfectAll);
+            let mc = MachineConfig::in_order().with_memory_mode(ssp_core::MemoryMode::PerfectAll);
             let base = simulate(&w.program, &mc);
             let h = simulate(&hand, &mc);
             for (tag, s) in &base.loads {

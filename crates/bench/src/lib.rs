@@ -1,7 +1,19 @@
 //! Experiment harnesses regenerating every table and figure of the
 //! paper's evaluation (§4). Each `fig*`/`table*` binary in `src/bin/`
 //! prints the same rows/series the paper reports; the functions here do
-//! the work so Criterion benches and integration tests can reuse them.
+//! the work so the benches and integration tests can reuse them.
+//!
+//! Every simulation is a pure function of a `(program, machine config)`
+//! pair, so whole suites fan out across host cores: [`run_suite`] runs
+//! the adaptations and then all `4 × N` simulations through
+//! [`parallel::map_indexed`], and [`fig2_rows`] does the same for
+//! Figure 2's per-benchmark rows. Results are collected by input index,
+//! so row order and every number are identical to a serial run — the
+//! `fig8`, `fig2`, `table2`, `fig9`, `fig10`, and `perf_report` binaries
+//! all fan out this way (worker count from `SSP_THREADS`, default: all
+//! cores), while the remaining binaries are serial. The single-benchmark
+//! entry points ([`run_benchmark`], [`fig2_row`]) stay serial and are
+//! the reference the parallel paths are tested against.
 //!
 //! Absolute numbers differ from the paper (our substrate is a synthetic
 //! simulator and synthetic workloads; see DESIGN.md), but the *shape* —
@@ -9,6 +21,7 @@
 //! reproduction target recorded in EXPERIMENTS.md.
 
 pub mod hand;
+pub mod parallel;
 
 use ssp_core::{
     simulate, AdaptOptions, AdaptReport, MachineConfig, MemoryMode, PostPassTool, SimResult,
@@ -54,25 +67,87 @@ impl BenchmarkRun {
 
 /// Run the full tool + simulation pipeline for one benchmark: profile,
 /// adapt, then simulate all four configurations (the paper evaluates the
-/// same enhanced binary on both machine models).
+/// same enhanced binary on both machine models). Serial.
 pub fn run_benchmark(w: &Workload) -> BenchmarkRun {
     run_benchmark_with(w, &AdaptOptions::default())
 }
 
 /// [`run_benchmark`] with explicit adaptation options (for ablations).
 pub fn run_benchmark_with(w: &Workload, opts: &AdaptOptions) -> BenchmarkRun {
-    let io = MachineConfig::in_order();
-    let ooo = MachineConfig::out_of_order();
+    run_benchmark_configured(w, opts, &MachineConfig::in_order(), &MachineConfig::out_of_order())
+}
+
+/// [`run_benchmark_with`] against explicit machine models (tests use
+/// cycle-capped configs so debug-build runs stay fast).
+pub fn run_benchmark_configured(
+    w: &Workload,
+    opts: &AdaptOptions,
+    io: &MachineConfig,
+    ooo: &MachineConfig,
+) -> BenchmarkRun {
     let tool = PostPassTool::new(io.clone()).with_options(opts.clone());
     let adapted = tool.run(&w.program);
     BenchmarkRun {
         name: w.name,
-        base_io: simulate(&w.program, &io),
-        ssp_io: simulate(&adapted.program, &io),
-        base_ooo: simulate(&w.program, &ooo),
-        ssp_ooo: simulate(&adapted.program, &ooo),
+        base_io: simulate(&w.program, io),
+        ssp_io: simulate(&adapted.program, io),
+        base_ooo: simulate(&w.program, ooo),
+        ssp_ooo: simulate(&adapted.program, ooo),
         report: adapted.report,
     }
+}
+
+/// Run the whole suite with the experiments' default configuration,
+/// fanning out across [`parallel::threads`] workers.
+pub fn run_suite(ws: &[Workload]) -> Vec<BenchmarkRun> {
+    run_suite_configured(
+        ws,
+        &AdaptOptions::default(),
+        &MachineConfig::in_order(),
+        &MachineConfig::out_of_order(),
+        parallel::threads(),
+    )
+}
+
+/// Run [`run_benchmark_configured`] over a suite on `workers` threads.
+///
+/// Two phases, each an indexed fan-out: first every workload is adapted
+/// (profile + slice + codegen are independent per binary), then all
+/// `4 × N` simulations run as one task list. Results are reassembled by
+/// workload index, so output order and every statistic match the serial
+/// path exactly; with `workers == 1` this *is* the serial path.
+pub fn run_suite_configured(
+    ws: &[Workload],
+    opts: &AdaptOptions,
+    io: &MachineConfig,
+    ooo: &MachineConfig,
+    workers: usize,
+) -> Vec<BenchmarkRun> {
+    let adapted = parallel::map_indexed(ws, workers, |_, w| {
+        PostPassTool::new(io.clone()).with_options(opts.clone()).run(&w.program)
+    });
+    // All simulations of the suite, flattened: workload-major, with the
+    // four machine/binary combinations of `BenchmarkRun` per workload.
+    let tasks: Vec<(usize, u8)> =
+        (0..ws.len()).flat_map(|wi| (0..4u8).map(move |k| (wi, k))).collect();
+    let sims = parallel::map_indexed(&tasks, workers, |_, &(wi, k)| match k {
+        0 => simulate(&ws[wi].program, io),
+        1 => simulate(&adapted[wi].program, io),
+        2 => simulate(&ws[wi].program, ooo),
+        _ => simulate(&adapted[wi].program, ooo),
+    });
+    let mut sims = sims.into_iter();
+    ws.iter()
+        .zip(adapted)
+        .map(|(w, a)| BenchmarkRun {
+            name: w.name,
+            base_io: sims.next().expect("four results per workload"),
+            ssp_io: sims.next().expect("four results per workload"),
+            base_ooo: sims.next().expect("four results per workload"),
+            ssp_ooo: sims.next().expect("four results per workload"),
+            report: a.report,
+        })
+        .collect()
 }
 
 /// One benchmark's Figure 2 bars: speedups under perfect memory and
@@ -91,7 +166,13 @@ pub struct Fig2Row {
     pub perfect_del_ooo: f64,
 }
 
-/// Compute Figure 2's bars for one benchmark.
+/// Compute every benchmark's Figure 2 row, one workload per task,
+/// fanning out across [`parallel::threads`] workers in input order.
+pub fn fig2_rows(ws: &[Workload]) -> Vec<Fig2Row> {
+    parallel::map_indexed(ws, parallel::threads(), |_, w| fig2_row(w))
+}
+
+/// Compute Figure 2's bars for one benchmark. Serial.
 pub fn fig2_row(w: &Workload) -> Fig2Row {
     let io = MachineConfig::in_order();
     let ooo = MachineConfig::out_of_order();
@@ -106,12 +187,10 @@ pub fn fig2_row(w: &Workload) -> Fig2Row {
     let base_ooo = run(&ooo, MemoryMode::Normal);
     Fig2Row {
         name: w.name,
-        perfect_mem_io: base_io.cycles as f64
-            / run(&io, MemoryMode::PerfectAll).cycles as f64,
+        perfect_mem_io: base_io.cycles as f64 / run(&io, MemoryMode::PerfectAll).cycles as f64,
         perfect_del_io: base_io.cycles as f64
             / run(&io, MemoryMode::PerfectDelinquent(delinquent.clone())).cycles as f64,
-        perfect_mem_ooo: base_ooo.cycles as f64
-            / run(&ooo, MemoryMode::PerfectAll).cycles as f64,
+        perfect_mem_ooo: base_ooo.cycles as f64 / run(&ooo, MemoryMode::PerfectAll).cycles as f64,
         perfect_del_ooo: base_ooo.cycles as f64
             / run(&ooo, MemoryMode::PerfectDelinquent(delinquent)).cycles as f64,
     }

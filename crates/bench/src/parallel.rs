@@ -1,0 +1,117 @@
+//! Deterministic thread-scoped fan-out for independent experiment work.
+//!
+//! Every simulation an experiment binary runs is a pure function of a
+//! `(program, machine config)` pair, so a suite of them can execute in
+//! any order on any number of threads without changing a single number.
+//! [`map_indexed`] exploits that: workers pull indices from a shared
+//! atomic counter and write each result into its input's slot, so the
+//! returned vector is always in input order regardless of which worker
+//! finished first — parallel runs are bit-identical to serial runs.
+//!
+//! Built on `std::thread::scope` only; no external thread-pool crate.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker count for experiment fan-out: the `SSP_THREADS` environment
+/// variable when set to a positive integer, else the host's available
+/// parallelism, else 1.
+pub fn threads() -> usize {
+    if let Ok(v) = std::env::var("SSP_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Apply `f` to every item on up to `workers` threads, returning results
+/// in input order.
+///
+/// `f(i, &items[i])` must be pure with respect to ordering (it may be
+/// called from any thread, in any order, but exactly once per item).
+/// With `workers <= 1` or fewer than two items everything runs on the
+/// calling thread — the same closure either way, so the serial and
+/// parallel paths cannot drift apart.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` once all workers have stopped.
+pub fn map_indexed<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    if workers <= 1 || n <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(n) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index was claimed exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = map_indexed(&items, 8, |i, &x| {
+            // Finish out of order on purpose.
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            x * 2
+        });
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..40).collect();
+        let serial = map_indexed(&items, 1, |i, &x| x.wrapping_mul(i as u64 + 1));
+        let parallel = map_indexed(&items, 4, |i, &x| x.wrapping_mul(i as u64 + 1));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let none: Vec<u32> = Vec::new();
+        assert!(map_indexed(&none, 4, |_, &x| x).is_empty());
+        assert_eq!(map_indexed(&[7u32], 4, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn index_matches_item() {
+        let items: Vec<usize> = (0..64).collect();
+        let out = map_indexed(&items, 6, |i, &x| (i, x));
+        for (i, (gi, gx)) in out.into_iter().enumerate() {
+            assert_eq!(i, gi);
+            assert_eq!(i, gx);
+        }
+    }
+}

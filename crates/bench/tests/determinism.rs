@@ -1,0 +1,52 @@
+//! Determinism of the parallel experiment runner: a parallel sweep must
+//! be bit-identical to the serial runner, and two consecutive parallel
+//! sweeps must be bit-identical to each other — same `SEED`, same rows,
+//! same every-field `SimResult`s, regardless of thread scheduling.
+//!
+//! Machine configs are cycle-capped because tier-1 runs this in a debug
+//! build; determinism does not depend on the cap.
+
+use ssp_bench::{run_suite_configured, BenchmarkRun, SEED};
+use ssp_core::{AdaptOptions, MachineConfig};
+
+fn capped(mut mc: MachineConfig) -> MachineConfig {
+    mc.max_cycles = 120_000;
+    mc
+}
+
+fn assert_runs_identical(a: &[BenchmarkRun], b: &[BenchmarkRun], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: row counts differ");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.name, y.name, "{what}: row order differs");
+        assert_eq!(x.base_io, y.base_io, "{what}: base_io differs for {}", x.name);
+        assert_eq!(x.ssp_io, y.ssp_io, "{what}: ssp_io differs for {}", x.name);
+        assert_eq!(x.base_ooo, y.base_ooo, "{what}: base_ooo differs for {}", x.name);
+        assert_eq!(x.ssp_ooo, y.ssp_ooo, "{what}: ssp_ooo differs for {}", x.name);
+        assert_eq!(
+            x.report.delinquent, y.report.delinquent,
+            "{what}: delinquent set differs for {}",
+            x.name
+        );
+        assert_eq!(
+            x.report.slice_count(),
+            y.report.slice_count(),
+            "{what}: slice count differs for {}",
+            x.name
+        );
+    }
+}
+
+#[test]
+fn parallel_sweep_matches_serial_and_repeats_exactly() {
+    let ws = ssp_workloads::suite(SEED);
+    let opts = AdaptOptions::default();
+    let io = capped(MachineConfig::in_order());
+    let ooo = capped(MachineConfig::out_of_order());
+
+    let serial = run_suite_configured(&ws, &opts, &io, &ooo, 1);
+    let parallel_a = run_suite_configured(&ws, &opts, &io, &ooo, 4);
+    let parallel_b = run_suite_configured(&ws, &opts, &io, &ooo, 4);
+
+    assert_runs_identical(&serial, &parallel_a, "serial vs parallel");
+    assert_runs_identical(&parallel_a, &parallel_b, "parallel vs parallel");
+}

@@ -147,8 +147,7 @@ fn plan_body(prog: &Program, plan: &SlicePlan) -> BodyPlan {
         order.iter().skip(pos + 1).any(|&at| prog.inst(at).op.uses().contains(&dst))
             || plan.slice.callee_insts.iter().any(|&at| prog.inst(at).op.uses().contains(&dst))
     };
-    let is_root =
-        |at: InstRef| at == plan.root || plan.extra_roots.contains(&at);
+    let is_root = |at: InstRef| at == plan.root || plan.extra_roots.contains(&at);
 
     let mut insts = Vec::with_capacity(order.len());
     for (pos, &at) in order.iter().enumerate() {
@@ -329,9 +328,10 @@ pub fn emit_slice(
                     ));
                 }
             }
-            entry
-                .insts
-                .push(fresh(prog, Op::BrCond { pred: r_p1, if_true: spawn_blk, if_false: cont_blk }));
+            entry.insts.push(fresh(
+                prog,
+                Op::BrCond { pred: r_p1, if_true: spawn_blk, if_false: cont_blk },
+            ));
             new_blocks.push(entry);
 
             // Spawn block: pass the live-in registers (now holding the
@@ -360,7 +360,13 @@ pub fn emit_slice(
                     let mut gate2: Option<(Reg, bool)> = None;
                     for (pos, bi) in body.insts.iter().enumerate().skip(plan.sched.spawn_pos) {
                         emit_body_inst(
-                            prog, plan, bi, pos, &mut cont.insts, &mut gate2, &mut slice_len,
+                            prog,
+                            plan,
+                            bi,
+                            pos,
+                            &mut cont.insts,
+                            &mut gate2,
+                            &mut slice_len,
                         );
                     }
                     cont.insts.push(fresh(prog, Op::KillThread));
@@ -400,8 +406,7 @@ pub fn emit_slice(
                     } else {
                         (killb_blk, work_blk)
                     };
-                    cont.insts
-                        .push(fresh(prog, Op::BrCond { pred, if_true: t, if_false: f }));
+                    cont.insts.push(fresh(prog, Op::BrCond { pred, if_true: t, if_false: f }));
                     new_blocks.push(cont);
 
                     let mut workb = Block { insts: Vec::new(), attachment: true };
@@ -518,12 +523,8 @@ fn emit_body_inst(
                 // Inline the callee's extracted instructions in callee
                 // program order ("the tool can form a slice block by
                 // extracting instructions from various procedures").
-                let callee_ops: Vec<Op> = plan
-                    .slice
-                    .callee_insts
-                    .iter()
-                    .map(|&at| prog.inst(at).op.clone())
-                    .collect();
+                let callee_ops: Vec<Op> =
+                    plan.slice.callee_insts.iter().map(|&at| prog.inst(at).op.clone()).collect();
                 for cop in callee_ops {
                     let t = prog.fresh_tag();
                     out.push(Inst::new(t, cop));

@@ -78,8 +78,7 @@ impl AdaptReport {
         if self.slices.is_empty() {
             return 0.0;
         }
-        self.slices.iter().map(|s| s.live_ins.len() as f64).sum::<f64>()
-            / self.slices.len() as f64
+        self.slices.iter().map(|s| s.live_ins.len() as f64).sum::<f64>() / self.slices.len() as f64
     }
 }
 
@@ -167,9 +166,7 @@ pub fn adapt(
     for (plan, tp) in placed {
         match emit::emit_slice(&mut out, &plan, &opts.emit) {
             Ok(mut pending) => {
-                pending
-                    .root_tags
-                    .extend(plan.extra_roots.iter().map(|&r| prog.inst(r).tag));
+                pending.root_tags.extend(plan.extra_roots.iter().map(|&r| prog.inst(r).tag));
                 report.slices.push(EmittedSlice {
                     root_tags: pending.root_tags.clone(),
                     trigger: tp,
@@ -213,11 +210,7 @@ mod tests {
         let exit = f.new_block();
         let (arc, k, t, u, v, sum, p) =
             (Reg(64), Reg(65), Reg(66), Reg(67), Reg(68), Reg(69), Reg(70));
-        f.at(e)
-            .movi(arc, 0x0100_0000)
-            .movi(k, 0x0100_0000 + (64 * n) as i64)
-            .movi(sum, 0)
-            .br(body);
+        f.at(e).movi(arc, 0x0100_0000).movi(k, 0x0100_0000 + (64 * n) as i64).movi(sum, 0).br(body);
         f.at(body)
             .mov(t, arc)
             .ld(u, t, 0)

@@ -11,8 +11,8 @@
 use ssp_ir::loops::LoopId;
 use ssp_ir::{BlockId, FuncId, InstRef, Op, Program};
 use ssp_sched::{
-    schedule_basic, schedule_chaining, slack_basic, slack_chaining, spawn_copy_latency,
-    reduced_miss_cycles, ScheduleOptions, ScheduledSlice, SpModel,
+    reduced_miss_cycles, schedule_basic, schedule_chaining, slack_basic, slack_chaining,
+    spawn_copy_latency, ScheduleOptions, ScheduledSlice, SpModel,
 };
 use ssp_sim::{MachineConfig, Profile};
 use ssp_slicing::{RegionDepGraph, Slice, Slicer};
@@ -115,13 +115,8 @@ pub fn plan_for_load(
         let mut lid = fa.loops.innermost(root.block);
         while let Some(l) = lid {
             let lp = fa.loops.get(l);
-            let outside: Vec<BlockId> = fa
-                .cfg
-                .preds(lp.header)
-                .iter()
-                .copied()
-                .filter(|p| !lp.contains(*p))
-                .collect();
+            let outside: Vec<BlockId> =
+                fa.cfg.preds(lp.header).iter().copied().filter(|p| !lp.contains(*p)).collect();
             cands.push(Cand {
                 blocks: lp.blocks.clone(),
                 loop_id: Some(l),
@@ -130,12 +125,7 @@ pub fn plan_for_load(
             });
             lid = lp.parent;
         }
-        cands.push(Cand {
-            blocks: fa.cfg.rpo().to_vec(),
-            loop_id: None,
-            header: None,
-            trips: 1.0,
-        });
+        cands.push(Cand { blocks: fa.cfg.rpo().to_vec(), loop_id: None, header: None, trips: 1.0 });
     }
     cands.truncate(opts.max_region_depth.max(1));
 
@@ -153,12 +143,9 @@ pub fn plan_for_load(
         }
         let g = {
             let fa = slicer.analyses.get(prog, fid);
-            RegionDepGraph::build_with_header(
-                prog, fid, &cand.blocks, cand.header, fa, profile, mc,
-            )
+            RegionDepGraph::build_with_header(prog, fid, &cand.blocks, cand.header, fa, profile, mc)
         };
-        let keep: std::collections::HashSet<InstRef> =
-            slice.insts.iter().copied().collect();
+        let keep: std::collections::HashSet<InstRef> = slice.insts.iter().copied().collect();
         // Inner-loop-carried dependences serialize the nested loop, not
         // the chain; the schedulers see the per-region-iteration view.
         let sg = g.induced(&keep).without_inner_carried();
@@ -169,8 +156,7 @@ pub fn plan_for_load(
 
         let chain = schedule_chaining(&sg, prog, profile, mc, &opts.sched);
         let basic = schedule_basic(&sg, prog, profile, mc);
-        let copy_cost =
-            spawn_copy_latency(slice.live_in_count(), mc.lib_latency, mc.spawn_latency);
+        let copy_cost = spawn_copy_latency(slice.live_in_count(), mc.lib_latency, mc.spawn_latency);
         let trips = cand.trips.round().max(1.0) as u64;
 
         let mut slack_c1 = slack_chaining(region_height, chain.critical_height, copy_cost, 1);
@@ -180,10 +166,7 @@ pub fn plan_for_load(
             // from the region entry — the region's total height is not
             // main-thread work that the speculative thread can hide
             // behind.
-            let depth = g
-                .node_of(root)
-                .map(|n| g.depth_to(n, profile, prog, mc))
-                .unwrap_or(0);
+            let depth = g.node_of(root).map(|n| g.depth_to(n, profile, prog, mc)).unwrap_or(0);
             slack_c1 = depth as i64 - chain.critical_height as i64 - copy_cost as i64;
             slack_b1 = depth as i64 - basic.slice_height as i64;
         }
@@ -292,7 +275,13 @@ pub fn reschedule(
     let g = {
         let fa = slicer.analyses.get(prog, base.func);
         RegionDepGraph::build_with_header(
-            prog, base.func, &base.blocks, base.header, fa, profile, mc,
+            prog,
+            base.func,
+            &base.blocks,
+            base.header,
+            fa,
+            profile,
+            mc,
         )
     };
     let keep: std::collections::HashSet<InstRef> = slice.insts.iter().copied().collect();
@@ -331,11 +320,7 @@ mod tests {
         let exit = f.new_block();
         let (arc, k, t, u, v, sum, p) =
             (Reg(64), Reg(65), Reg(66), Reg(67), Reg(68), Reg(69), Reg(70));
-        f.at(e)
-            .movi(arc, 0x0100_0000)
-            .movi(k, 0x0100_0000 + 64 * 400)
-            .movi(sum, 0)
-            .br(body);
+        f.at(e).movi(arc, 0x0100_0000).movi(k, 0x0100_0000 + 64 * 400).movi(sum, 0).br(body);
         f.at(body)
             .mov(t, arc)
             .ld(u, t, 0)
@@ -357,8 +342,9 @@ mod tests {
         let mc = MachineConfig::in_order();
         let profile = ssp_sim::profile(&prog, &mc);
         let mut slicer = Slicer::new(&prog, &profile, SliceOptions::default());
-        let plan = plan_for_load(&mut slicer, &prog, &profile, &mc, root, &SelectOptions::default())
-            .expect("a plan is found");
+        let plan =
+            plan_for_load(&mut slicer, &prog, &profile, &mc, root, &SelectOptions::default())
+                .expect("a plan is found");
         assert_eq!(plan.model, SpModel::Chaining);
         assert!(plan.loop_id.is_some());
         assert!(plan.blocks.contains(&body));

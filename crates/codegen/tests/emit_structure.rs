@@ -16,18 +16,12 @@ fn chase(n: u64, use_value: bool) -> Program {
     let mut f = pb.function("main");
     let (e, body, exit) = (f.entry_block(), f.new_block(), f.new_block());
     let (ptr, k, u, v, sum, p) = (Reg(64), Reg(65), Reg(66), Reg(67), Reg(68), Reg(69));
-    f.at(e)
-        .movi(ptr, 0x0100_0000)
-        .movi(k, 0x0100_0000 + (64 * n) as i64)
-        .movi(sum, 0)
-        .br(body);
+    f.at(e).movi(ptr, 0x0100_0000).movi(k, 0x0100_0000 + (64 * n) as i64).movi(sum, 0).br(body);
     let mut c = f.at(body).ld(u, ptr, 0).ld(v, u, 0);
     if use_value {
         c = c.add(sum, sum, Operand::Reg(v));
     }
-    c.add(ptr, ptr, 64)
-        .cmp(CmpKind::Lt, p, ptr, Operand::Reg(k))
-        .br_cond(p, body, exit);
+    c.add(ptr, ptr, 64).cmp(CmpKind::Lt, p, ptr, Operand::Reg(k)).br_cond(p, body, exit);
     f.at(exit).halt();
     let main = f.finish();
     pb.finish_with(main)
@@ -108,10 +102,7 @@ fn dead_value_root_becomes_prefetch_used_value_stays_load() {
             lfetches >= 1,
             "use_value={use_value}: delinquent load demoted to a prefetch somewhere"
         );
-        assert!(
-            !slice_ops.iter().any(|o| o.is_store()),
-            "slices never contain stores"
-        );
+        assert!(!slice_ops.iter().any(|o| o.is_store()), "slices never contain stores");
     }
 }
 
@@ -166,10 +157,7 @@ fn too_many_live_ins_is_skipped() {
     let (_, report) = adapt_default(&prog);
     assert!(
         report.slices.is_empty()
-            || report
-                .skipped
-                .iter()
-                .any(|(_, r)| matches!(r, SkipReason::TooManyLiveIns(_))),
+            || report.skipped.iter().any(|(_, r)| matches!(r, SkipReason::TooManyLiveIns(_))),
         "either nothing planned or explicitly skipped for live-ins: {report:?}"
     );
 }

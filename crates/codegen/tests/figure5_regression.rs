@@ -18,13 +18,8 @@ fn pointer_chase(n: u64) -> Program {
     let e = f.entry_block();
     let body = f.new_block();
     let exit = f.new_block();
-    let (arc, k, t, u, v, sum, p) =
-        (Reg(64), Reg(65), Reg(66), Reg(67), Reg(68), Reg(69), Reg(70));
-    f.at(e)
-        .movi(arc, 0x0100_0000)
-        .movi(k, 0x0100_0000 + (64 * n) as i64)
-        .movi(sum, 0)
-        .br(body);
+    let (arc, k, t, u, v, sum, p) = (Reg(64), Reg(65), Reg(66), Reg(67), Reg(68), Reg(69), Reg(70));
+    f.at(e).movi(arc, 0x0100_0000).movi(k, 0x0100_0000 + (64 * n) as i64).movi(sum, 0).br(body);
     f.at(body)
         .mov(t, arc) // A
         .ld(u, t, 0) // B
@@ -48,15 +43,9 @@ fn schedule_matches_figure_5b() {
     let mut slicer = Slicer::new(&prog, &profile, SliceOptions::default());
     let body = BlockId(1);
     let root = InstRef { func: prog.entry, block: body, idx: 2 };
-    let plan = ssp_codegen::plan_for_load(
-        &mut slicer,
-        &prog,
-        &profile,
-        &mc,
-        root,
-        &Default::default(),
-    )
-    .expect("mcf-like loop must be adaptable");
+    let plan =
+        ssp_codegen::plan_for_load(&mut slicer, &prog, &profile, &mc, root, &Default::default())
+            .expect("mcf-like loop must be adaptable");
 
     assert_eq!(plan.model, ssp_sched::SpModel::Chaining);
     let pos = |idx: usize| {

@@ -63,8 +63,8 @@ pub use ssp_codegen::{AdaptOptions, AdaptReport, EmitOptions, SelectOptions, Ski
 pub use ssp_ir::{Program, ProgramBuilder};
 pub use ssp_sched::{ScheduleOptions, SpModel};
 pub use ssp_sim::{
-    profile, simulate, speedup, CycleBreakdown, LoadStats, MachineConfig, MemoryMode,
-    PipelineKind, Profile, SimResult,
+    profile, simulate, speedup, CycleBreakdown, LoadStats, MachineConfig, MemoryMode, PipelineKind,
+    Profile, SimResult,
 };
 pub use ssp_slicing::SliceOptions;
 

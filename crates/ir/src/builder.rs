@@ -152,12 +152,7 @@ impl ProgramBuilder {
             self.funcs.len()
         );
         assert!((entry.0 as usize) < self.funcs.len(), "entry {entry} out of range");
-        Program {
-            funcs: self.funcs,
-            entry,
-            image: self.image,
-            next_tag: self.next_tag.get(),
-        }
+        Program { funcs: self.funcs, entry, image: self.image, next_tag: self.next_tag.get() }
     }
 }
 

@@ -178,10 +178,7 @@ mod tests {
         let target_id = pb.declare();
         let mut m = pb.define(main_id, "main");
         let e = m.entry_block();
-        m.at(e)
-            .movi(Reg(20), target_id.as_value() as i64)
-            .call_ind(Reg(20), 0)
-            .halt();
+        m.at(e).movi(Reg(20), target_id.as_value() as i64).call_ind(Reg(20), 0).halt();
         let m = m.finish();
         let mut t = pb.define(target_id, "target");
         let e = t.entry_block();

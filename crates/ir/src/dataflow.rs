@@ -234,10 +234,11 @@ impl Liveness {
                 inst.op.uses_into(&mut uses_buf);
                 if matches!(inst.op, crate::inst::Op::Ret) {
                     uses_buf.push(crate::reg::conv::RV);
-                    uses_buf
-                        .extend((0..NUM_REGS as u16).map(Reg).filter(|&r| {
-                            crate::reg::conv::is_callee_saved(r)
-                        }));
+                    uses_buf.extend(
+                        (0..NUM_REGS as u16)
+                            .map(Reg)
+                            .filter(|&r| crate::reg::conv::is_callee_saved(r)),
+                    );
                 }
                 for &u in &uses_buf {
                     if !def_set[bid.index()].contains(u.index()) {

@@ -193,13 +193,14 @@ pub enum Op {
     Nop,
 }
 
+/// Upper bound on the number of registers any operation reads
+/// ([`Op::CallInd`]: target, up to [`conv::MAX_ARGS`] arguments, and SP).
+pub const MAX_USES: usize = 2 + conv::MAX_ARGS as usize;
+
 impl Op {
     /// Whether this operation must end a basic block.
     pub fn is_terminator(&self) -> bool {
-        matches!(
-            self,
-            Op::Br { .. } | Op::BrCond { .. } | Op::Ret | Op::Halt | Op::KillThread
-        )
+        matches!(self, Op::Br { .. } | Op::BrCond { .. } | Op::Ret | Op::Halt | Op::KillThread)
     }
 
     /// Whether this is a memory-reading load (`ld8`). `Lfetch` and the
@@ -249,6 +250,13 @@ impl Op {
     /// are included (they are real operand slots), callers that only care
     /// about dependences should skip [`Reg::is_zero`] sources.
     pub fn uses_into(&self, out: &mut Vec<Reg>) {
+        self.for_each_use(|r| out.push(r));
+    }
+
+    /// Visit the registers this operation reads, in [`Op::uses_into`]
+    /// order. The single source of truth for use order: both the `Vec`
+    /// and fixed-capacity collectors are built on it.
+    pub fn for_each_use(&self, mut f: impl FnMut(Reg)) {
         match *self {
             Op::Movi { .. }
             | Op::Ret
@@ -260,36 +268,48 @@ impl Op {
             | Op::Halt
             | Op::Br { .. }
             | Op::Nop => {}
-            Op::Mov { src, .. } => out.push(src),
+            Op::Mov { src, .. } => f(src),
             Op::Alu { a, b, .. } | Op::Cmp { a, b, .. } => {
-                out.push(a);
+                f(a);
                 if let Operand::Reg(r) = b {
-                    out.push(r);
+                    f(r);
                 }
             }
             Op::FAlu { a, b, .. } => {
-                out.push(a);
-                out.push(b);
+                f(a);
+                f(b);
             }
-            Op::Ld { base, .. } | Op::Lfetch { base, .. } => out.push(base),
+            Op::Ld { base, .. } | Op::Lfetch { base, .. } => f(base),
             Op::St { src, base, .. } => {
-                out.push(src);
-                out.push(base);
+                f(src);
+                f(base);
             }
-            Op::BrCond { pred, .. } => out.push(pred),
-            Op::Call { nargs, .. } => out.extend(conv::call_uses(nargs)),
+            Op::BrCond { pred, .. } => f(pred),
+            Op::Call { nargs, .. } => conv::call_uses(nargs).for_each(f),
             Op::CallInd { target, nargs } => {
-                out.push(target);
-                out.extend(conv::call_uses(nargs));
+                f(target);
+                conv::call_uses(nargs).for_each(f);
             }
-            Op::Spawn { slot, .. } => out.push(slot),
+            Op::Spawn { slot, .. } => f(slot),
             Op::LibSt { slot, src, .. } => {
-                out.push(slot);
-                out.push(src);
+                f(slot);
+                f(src);
             }
-            Op::LibLd { slot, .. } => out.push(slot),
-            Op::LibFree { slot } => out.push(slot),
+            Op::LibLd { slot, .. } => f(slot),
+            Op::LibFree { slot } => f(slot),
         }
+    }
+
+    /// Collect the registers this operation reads into a fixed-capacity
+    /// buffer, returning how many were written. Allocation-free: sized
+    /// for the worst case ([`MAX_USES`]), in [`Op::uses_into`] order.
+    pub fn uses_fixed(&self, out: &mut [Reg; MAX_USES]) -> usize {
+        let mut n = 0;
+        self.for_each_use(|r| {
+            out[n] = r;
+            n += 1;
+        });
+        n
     }
 
     /// The registers this operation reads, as a fresh vector.
@@ -395,8 +415,7 @@ mod tests {
         assert!(Op::ChkC { stub: BlockId(3) }.branch_targets().is_empty());
         assert!(Op::Spawn { entry: BlockId(3), slot: Reg(9) }.branch_targets().is_empty());
         assert_eq!(
-            Op::BrCond { pred: Reg(1), if_true: BlockId(1), if_false: BlockId(2) }
-                .branch_targets(),
+            Op::BrCond { pred: Reg(1), if_true: BlockId(1), if_false: BlockId(2) }.branch_targets(),
             vec![BlockId(1), BlockId(2)]
         );
     }

@@ -58,6 +58,6 @@ pub mod region;
 pub mod verify;
 
 pub use builder::{BlockCursor, FunctionBuilder, ProgramBuilder};
-pub use inst::{AluKind, CmpKind, FAluKind, Inst, InstTag, Op, Operand};
+pub use inst::{AluKind, CmpKind, FAluKind, Inst, InstTag, Op, Operand, MAX_USES};
 pub use program::{Block, BlockId, FuncId, Function, InstRef, Program};
 pub use reg::{conv, Reg};

@@ -120,8 +120,7 @@ impl LoopForest {
                     match best {
                         None => best = Some(b),
                         Some(cur) => {
-                            if loops[b.0 as usize].blocks.len()
-                                < loops[cur.0 as usize].blocks.len()
+                            if loops[b.0 as usize].blocks.len() < loops[cur.0 as usize].blocks.len()
                             {
                                 best = Some(b);
                             }
@@ -212,14 +211,8 @@ mod tests {
         let b4 = f.new_block();
         f.at(b0).movi(Reg(1), 0).br(b1);
         f.at(b1).movi(Reg(2), 0).br(b2);
-        f.at(b2)
-            .add(Reg(2), Reg(2), 1)
-            .cmp(CmpKind::Lt, Reg(3), Reg(2), 4)
-            .br_cond(Reg(3), b2, b3);
-        f.at(b3)
-            .add(Reg(1), Reg(1), 1)
-            .cmp(CmpKind::Lt, Reg(3), Reg(1), 4)
-            .br_cond(Reg(3), b1, b4);
+        f.at(b2).add(Reg(2), Reg(2), 1).cmp(CmpKind::Lt, Reg(3), Reg(2), 4).br_cond(Reg(3), b2, b3);
+        f.at(b3).add(Reg(1), Reg(1), 1).cmp(CmpKind::Lt, Reg(3), Reg(1), 4).br_cond(Reg(3), b1, b4);
         f.at(b4).halt();
         let main = f.finish();
         pb.finish_with(main)

@@ -161,11 +161,7 @@ pub fn verify_speculative(prog: &Program) -> Result<(), VerifyError> {
         for &b in &seen {
             for (i, inst) in func.block(b).insts.iter().enumerate() {
                 if inst.op.is_store() {
-                    return Err(VerifyError::StoreInSlice(InstRef {
-                        func: fid,
-                        block: b,
-                        idx: i,
-                    }));
+                    return Err(VerifyError::StoreInSlice(InstRef { func: fid, block: b, idx: i }));
                 }
             }
         }
@@ -228,8 +224,7 @@ mod tests {
     fn rejects_bad_branch_target() {
         let mut prog = ok_prog();
         let t = prog.fresh_tag();
-        prog.funcs[0].blocks[0].insts[1] =
-            Inst::new(t, Op::Br { target: BlockId(99) });
+        prog.funcs[0].blocks[0].insts[1] = Inst::new(t, Op::Br { target: BlockId(99) });
         assert!(matches!(verify(&prog), Err(VerifyError::BadBlockRef(..))));
     }
 
@@ -252,10 +247,7 @@ mod tests {
         prog.funcs[0].blocks[1].attachment = true;
         prog.funcs[0].blocks[2].attachment = true;
         assert_eq!(verify(&prog), Ok(()), "structurally fine");
-        assert!(matches!(
-            verify_speculative(&prog),
-            Err(VerifyError::StoreInSlice(..))
-        ));
+        assert!(matches!(verify_speculative(&prog), Err(VerifyError::StoreInSlice(..))));
     }
 
     #[test]
@@ -268,11 +260,7 @@ mod tests {
         let resume = f.new_block();
         f.at(e).chk_c(stub).br(resume);
         f.at(stub).lib_alloc(Reg(10)).lib_st(Reg(10), 0, Reg(5)).spawn(slice, Reg(10)).br(resume);
-        f.at(slice)
-            .lib_ld(Reg(4), Reg(9), 0)
-            .ld(Reg(5), Reg(4), 0)
-            .lfetch(Reg(5), 8)
-            .kill_thread();
+        f.at(slice).lib_ld(Reg(4), Reg(9), 0).ld(Reg(5), Reg(4), 0).lfetch(Reg(5), 8).kill_thread();
         f.at(resume).halt();
         let main = f.finish();
         let prog = pb.finish_with(main);

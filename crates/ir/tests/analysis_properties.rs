@@ -74,10 +74,7 @@ fn emit(
             let (i, p) = (reg(), reg());
             f.at(cur).movi(i, 0).br(head);
             let be = emit(f, a, head, fresh);
-            f.at(be)
-                .add(i, i, 1)
-                .cmp(CmpKind::Lt, p, i, *n as i64)
-                .br_cond(p, head, exit);
+            f.at(be).add(i, i, 1).cmp(CmpKind::Lt, p, i, *n as i64).br_cond(p, head, exit);
             exit
         }
     }

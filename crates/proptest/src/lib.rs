@@ -1,0 +1,239 @@
+//! A minimal, fully offline property-testing shim exposing the subset of
+//! the `proptest` crate's API this workspace uses.
+//!
+//! The real `proptest` cannot be resolved without network access, so this
+//! in-tree stand-in keeps the property tests runnable (behind each crate's
+//! default-off `heavy-tests` feature) with zero external dependencies.
+//! It generates random values from deterministic per-test xorshift64*
+//! streams and runs the test body for `ProptestConfig::cases` cases.
+//! There is no shrinking: a failing case panics with the generated inputs
+//! left to the assertion message.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::collection::vec` — strategy for vectors with a length range.
+pub mod collection {
+    use crate::strategy::{SBox, Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s of `element` with a length in `len`.
+    pub fn vec<S: Strategy + 'static>(element: S, len: Range<usize>) -> VecStrategy<S::Value>
+    where
+        S::Value: 'static,
+    {
+        VecStrategy { element: SBox::new(element), len }
+    }
+}
+
+/// `prop::sample::select` — pick uniformly from a fixed list.
+pub mod sample {
+    use crate::strategy::Select;
+
+    /// A strategy selecting one of `options` uniformly at random.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+}
+
+/// `prop::bool` — boolean strategies.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy for an unbiased boolean.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// `prop::bool::ANY`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Types with a canonical strategy (`any::<T>()`).
+pub trait Arbitrary {
+    /// The canonical strategy for the type.
+    type Strategy: strategy::Strategy<Value = Self>;
+    /// Construct the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+impl Arbitrary for bool {
+    type Strategy = bool::Any;
+    fn arbitrary() -> Self::Strategy {
+        bool::ANY
+    }
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = std::ops::Range<$t>;
+            fn arbitrary() -> Self::Strategy {
+                <$t>::MIN..<$t>::MAX
+            }
+        }
+    )*};
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The canonical strategy for `T` (`any::<bool>()`, etc.).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// The prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::any;
+    pub use crate::strategy::{Just, SBox, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert inside a property test (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Build a strategy choosing uniformly between the listed strategies
+/// (all must share one `Value` type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($crate::strategy::SBox::new($s)),+])
+    };
+}
+
+/// Declare property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` for the configured number of cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::test_runner::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__cfg.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic("ranges");
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(3u64..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let w = Strategy::generate(&(0usize..1), &mut rng);
+            assert_eq!(w, 0);
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_range() {
+        let mut rng = crate::test_runner::TestRng::deterministic("vec");
+        let s = crate::collection::vec(0u8..5, 2..9);
+        for _ in 0..200 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!((2..9).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let mut rng = crate::test_runner::TestRng::deterministic("oneof");
+        let s = prop_oneof![(0u64..4).prop_map(|x| x * 2), (10u64..12).prop_map(|x| x + 1)];
+        let mut low = false;
+        let mut high = false;
+        for _ in 0..200 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!(v < 8 || (11..13).contains(&v));
+            low |= v < 8;
+            high |= v >= 11;
+        }
+        assert!(low && high, "both arms exercised");
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug)]
+        #[allow(dead_code)] // Leaf's payload only matters for Debug output
+        enum T {
+            Leaf(u8),
+            Pair(Box<T>, Box<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf(_) => 1,
+                T::Pair(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let leaf = (0u8..4).prop_map(T::Leaf);
+        let s = leaf.prop_recursive(3, 12, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| T::Pair(Box::new(a), Box::new(b)))
+        });
+        let mut rng = crate::test_runner::TestRng::deterministic("rec");
+        for _ in 0..100 {
+            let t = Strategy::generate(&s, &mut rng);
+            assert!(depth(&t) <= 4, "depth bounded by the recursion budget: {t:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_multiple_args(
+            a in 0u32..10,
+            b in prop::sample::select(vec![1u64, 2, 3]),
+            flip in any::<bool>(),
+        ) {
+            prop_assert!(a < 10);
+            prop_assert!((1..=3).contains(&b));
+            let _ = flip;
+        }
+    }
+}

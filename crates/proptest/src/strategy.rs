@@ -1,0 +1,195 @@
+//! Strategies: composable random-value generators.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// A generator of random values of one type.
+///
+/// Unlike real proptest there is no value tree and no shrinking — a
+/// strategy simply produces a value from the test's RNG stream.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build a recursive strategy: `recurse` receives a strategy for the
+    /// inner levels and wraps it one level deeper, up to `depth` levels.
+    /// (`_desired_size` and `_expected_branch_size` are accepted for
+    /// API compatibility and ignored.)
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> SBox<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(SBox<Self::Value>) -> R,
+    {
+        let leaf: SBox<Self::Value> = SBox::new(self);
+        let mut level = leaf.clone();
+        for _ in 0..depth {
+            let deeper = SBox::new(recurse(level));
+            // Mix the leaf back in at every level so generated values
+            // cover all depths, not just the maximum.
+            level = SBox::new(OneOf::new(vec![leaf.clone(), deeper]));
+        }
+        level
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> SBox<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        SBox::new(self)
+    }
+}
+
+/// A shared, type-erased strategy (the shim's `BoxedStrategy`).
+pub struct SBox<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> SBox<T> {
+    /// Box a strategy.
+    pub fn new<S: Strategy<Value = T> + 'static>(s: S) -> Self {
+        SBox(Rc::new(s))
+    }
+}
+
+impl<T> Clone for SBox<T> {
+    fn clone(&self) -> Self {
+        SBox(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for SBox<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always produce a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between strategies (`prop_oneof!`).
+pub struct OneOf<T> {
+    arms: Vec<SBox<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// Build from the (non-empty) list of arms.
+    pub fn new(arms: Vec<SBox<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Uniform choice from a fixed list (`prop::sample::select`).
+#[derive(Clone, Debug)]
+pub struct Select<T: Clone> {
+    pub(crate) options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.options[rng.below(self.options.len() as u64) as usize].clone()
+    }
+}
+
+/// Vectors of an element strategy (`prop::collection::vec`).
+pub struct VecStrategy<T> {
+    pub(crate) element: SBox<T>,
+    pub(crate) len: Range<usize>,
+}
+
+impl<T> Strategy for VecStrategy<T> {
+    type Value = Vec<T>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+        let n = self.len.generate(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);

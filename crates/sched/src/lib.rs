@@ -17,7 +17,7 @@ pub mod slack;
 
 pub use scc::SccPartition;
 pub use schedule::{
-    branch_bias, node_heights, predict_condition, rotate_loop, schedule_basic,
-    schedule_chaining, ScheduleOptions, ScheduledSlice, SpModel,
+    branch_bias, node_heights, predict_condition, rotate_loop, schedule_basic, schedule_chaining,
+    ScheduleOptions, ScheduledSlice, SpModel,
 };
 pub use slack::{reduced_miss_cycles, slack_basic, slack_chaining, spawn_copy_latency};

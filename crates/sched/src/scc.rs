@@ -107,10 +107,7 @@ impl SccPartition {
     /// A single node with a self edge (e.g. `p = load(p)`) also counts.
     pub fn is_cycle(&self, c: usize) -> bool {
         self.components[c].len() > 1
-            || self
-                .components[c]
-                .first()
-                .is_some_and(|&v| self.self_edges.contains(&v))
+            || self.components[c].first().is_some_and(|&v| self.self_edges.contains(&v))
     }
 
     /// Node indices belonging to non-degenerate SCCs — the critical
@@ -129,8 +126,8 @@ impl SccPartition {
 mod tests {
     use super::*;
     use ssp_ir::{CmpKind, InstRef, Operand, ProgramBuilder, Reg};
-    use ssp_slicing::{Analyses, RegionDepGraph};
     use ssp_sim::{MachineConfig, Profile};
+    use ssp_slicing::{Analyses, RegionDepGraph};
 
     /// Figure 3's loop again; the SCC must be {A, D, cmp, branch}, with B
     /// and C degenerate (Figure 5(a) merges cmp+branch into "E").
@@ -187,11 +184,7 @@ mod tests {
         let mut pb = ProgramBuilder::new();
         let mut f = pb.function("main");
         let e = f.entry_block();
-        f.at(e)
-            .movi(Reg(1), 5)
-            .add(Reg(2), Reg(1), 1)
-            .add(Reg(3), Reg(2), 1)
-            .halt();
+        f.at(e).movi(Reg(1), 5).add(Reg(2), Reg(1), 1).add(Reg(3), Reg(2), 1).halt();
         let main = f.finish();
         let prog = pb.finish_with(main);
         let mut an = Analyses::new();

@@ -33,11 +33,7 @@ pub struct ScheduleOptions {
 
 impl Default for ScheduleOptions {
     fn default() -> Self {
-        ScheduleOptions {
-            loop_rotation: true,
-            condition_prediction: true,
-            predict_threshold: 0.9,
-        }
+        ScheduleOptions { loop_rotation: true, condition_prediction: true, predict_threshold: 0.9 }
     }
 }
 
@@ -136,14 +132,10 @@ pub fn predict_condition(g: &RegionDepGraph, branch: usize) -> RegionDepGraph {
                 continue;
             }
             let mut has_user = false;
-            let all_in = g
-                .edges
-                .iter()
-                .filter(|e| e.from == v && !e.carried)
-                .all(|e| {
-                    has_user = true;
-                    in_chain[e.to]
-                });
+            let all_in = g.edges.iter().filter(|e| e.from == v && !e.carried).all(|e| {
+                has_user = true;
+                in_chain[e.to]
+            });
             if has_user && all_in {
                 in_chain[v] = true;
                 changed = true;
@@ -156,9 +148,7 @@ pub fn predict_condition(g: &RegionDepGraph, branch: usize) -> RegionDepGraph {
     let remove: HashSet<(usize, usize)> = g
         .edges
         .iter()
-        .filter(|e| {
-            (in_chain[e.to] && (!in_chain[e.from] || e.carried)) || e.from == branch
-        })
+        .filter(|e| (in_chain[e.to] && (!in_chain[e.from] || e.carried)) || e.from == branch)
         .map(|e| (e.from, e.to))
         .collect();
     g.without_edges(&remove)
@@ -324,8 +314,7 @@ pub fn schedule_chaining(
             comp_preds[ct].insert(cf);
         }
     }
-    let comp_height =
-        |c: usize| scc.components[c].iter().map(|&v| heights[v]).max().unwrap_or(0);
+    let comp_height = |c: usize| scc.components[c].iter().map(|&v| heights[v]).max().unwrap_or(0);
     let comp_critical = |c: usize| scc.components[c].iter().any(|&v| critical[v]);
     let comp_pos = |c: usize| scc.components[c].iter().min().copied().unwrap_or(0);
 
@@ -334,8 +323,7 @@ pub fn schedule_chaining(
     let mut emitted_comp = vec![false; ncomp];
     let mut order: Vec<usize> = Vec::new(); // node indices
     let mut spawn_pos_nodes = None;
-    let mut remaining_critical =
-        (0..ncomp).filter(|&c| comp_critical(c)).count();
+    let mut remaining_critical = (0..ncomp).filter(|&c| comp_critical(c)).count();
     for _ in 0..ncomp {
         let ready: Vec<usize> = (0..ncomp)
             .filter(|&c| !emitted_comp[c])
@@ -354,9 +342,7 @@ pub fn schedule_chaining(
         emitted_comp[best] = true;
         // Within the SCC: list schedule by height ignoring carried edges.
         let mut members = scc.components[best].clone();
-        members.sort_by(|&a, &b| {
-            heights[b].cmp(&heights[a]).then(a.cmp(&b))
-        });
+        members.sort_by(|&a, &b| heights[b].cmp(&heights[a]).then(a.cmp(&b)));
         // Respect intra-SCC forward edges: stable topological insertion.
         let mut placed: Vec<usize> = Vec::new();
         let mut left: Vec<usize> = members;
@@ -364,12 +350,9 @@ pub fn schedule_chaining(
             let pos = left
                 .iter()
                 .position(|&v| {
-                    g.edges.iter().all(|e| {
-                        e.carried
-                            || e.to != v
-                            || !left.contains(&e.from)
-                            || e.from == v
-                    })
+                    g.edges
+                        .iter()
+                        .all(|e| e.carried || e.to != v || !left.contains(&e.from) || e.from == v)
                 })
                 .unwrap_or(0);
             placed.push(left.remove(pos));
@@ -384,8 +367,7 @@ pub fn schedule_chaining(
     }
     let spawn_pos = spawn_pos_nodes.unwrap_or(0);
 
-    let crit_set: HashSet<InstRef> =
-        (0..n).filter(|&v| critical[v]).map(|v| g.nodes[v]).collect();
+    let crit_set: HashSet<InstRef> = (0..n).filter(|&v| critical[v]).map(|v| g.nodes[v]).collect();
     let crit_graph = g.induced(&crit_set);
     let critical_height = crit_graph.critical_path(profile, prog, mc);
     let slice_height = g.critical_path(profile, prog, mc);
@@ -417,11 +399,7 @@ pub fn schedule_basic(
     for _ in 0..n {
         let best = (0..n)
             .filter(|&v| !emitted[v])
-            .filter(|&v| {
-                g.edges
-                    .iter()
-                    .all(|e| e.carried || e.to != v || emitted[e.from])
-            })
+            .filter(|&v| g.edges.iter().all(|e| e.carried || e.to != v || emitted[e.from]))
             .max_by(|&a, &b| heights[a].cmp(&heights[b]).then(b.cmp(&a)))
             .expect("forward dependences are acyclic");
         emitted[best] = true;
@@ -595,11 +573,8 @@ mod tests {
         assert_eq!(s.spawn_pos, s.order.len(), "no in-slice spawn for basic SP");
         assert_eq!(s.order.len(), 6);
         // Dependences within the iteration still respected.
-        let (a, b, c) = (
-            idx_of(&s.order, body, 0),
-            idx_of(&s.order, body, 1),
-            idx_of(&s.order, body, 2),
-        );
+        let (a, b, c) =
+            (idx_of(&s.order, body, 0), idx_of(&s.order, body, 1), idx_of(&s.order, body, 2));
         assert!(a < b && b < c);
     }
 

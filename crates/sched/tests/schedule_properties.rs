@@ -23,20 +23,14 @@ fn loop_program(n_chain: usize, n_indep: usize, with_load: bool) -> (Program, ss
         let mut chain = ind;
         for i in 0..n_chain {
             let dst = Reg(70 + i as u16);
-            c = if with_load && i == 0 {
-                c.ld(dst, chain, 0)
-            } else {
-                c.add(dst, chain, 1)
-            };
+            c = if with_load && i == 0 { c.ld(dst, chain, 0) } else { c.add(dst, chain, 1) };
             chain = dst;
         }
         for i in 0..n_indep {
             let dst = Reg(100 + i as u16);
             c = c.movi(dst, i as i64);
         }
-        c.add(ind, ind, 64)
-            .cmp(CmpKind::Lt, p, ind, 0x200000)
-            .br_cond(p, body, exit);
+        c.add(ind, ind, 64).cmp(CmpKind::Lt, p, ind, 0x200000).br_cond(p, body, exit);
     }
     f.at(exit).halt();
     let main = f.finish();
@@ -46,7 +40,14 @@ fn loop_program(n_chain: usize, n_indep: usize, with_load: bool) -> (Program, ss
 fn graph_of(prog: &Program, body: ssp_ir::BlockId) -> RegionDepGraph {
     let mut an = Analyses::new();
     let fa = an.get(prog, prog.entry);
-    RegionDepGraph::build(prog, prog.entry, &[body], fa, &Profile::default(), &MachineConfig::in_order())
+    RegionDepGraph::build(
+        prog,
+        prog.entry,
+        &[body],
+        fa,
+        &Profile::default(),
+        &MachineConfig::in_order(),
+    )
 }
 
 fn order_respects_forward_deps(g: &RegionDepGraph, order: &[InstRef]) -> Result<(), String> {

@@ -76,11 +76,8 @@ impl Btb {
             return;
         }
         if self.sets[si].len() >= self.assoc {
-            let (vi, _) = self.sets[si]
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.2)
-                .expect("nonempty set");
+            let (vi, _) =
+                self.sets[si].iter().enumerate().min_by_key(|(_, e)| e.2).expect("nonempty set");
             self.sets[si].swap_remove(vi);
         }
         self.sets[si].push((pc, target_key, now));
@@ -133,7 +130,10 @@ mod tests {
             g.update(pc, taken);
             taken = !taken;
         }
-        assert!(correct >= 30, "alternation should be nearly perfectly predicted, got {correct}/32");
+        assert!(
+            correct >= 30,
+            "alternation should be nearly perfectly predicted, got {correct}/32"
+        );
     }
 
     #[test]
@@ -151,7 +151,7 @@ mod tests {
     #[test]
     fn btb_evicts_lru_within_set() {
         let mut b = Btb::new(4, 2); // 2 sets x 2 ways
-        // Three branches mapping to set 0 (pc & 1 == 0).
+                                    // Three branches mapping to set 0 (pc & 1 == 0).
         let pcs = [0u64, 2, 4];
         b.record(pcs[0], 1, 0);
         b.record(pcs[1], 1, 1);

@@ -65,21 +65,40 @@ struct Line {
     last_used: u64,
 }
 
+/// One set-associative cache level, stored as a single contiguous
+/// `sets × assoc` array (plus a per-set occupancy count) instead of a
+/// `Vec<Vec<Line>>` — one allocation, no per-set pointer chasing, and
+/// a whole 4-way set fits in two cache lines of host memory.
+///
+/// Occupied ways of a set behave exactly like the old per-set `Vec`:
+/// lookups scan ways in order, insertion appends at the occupancy
+/// cursor, and a full set evicts the first way with the minimum
+/// `last_used` via the same swap-remove-then-push dance (the evictee is
+/// replaced by the last occupied way, and the new line lands in the
+/// last slot). Keeping that order bit-identical keeps every simulated
+/// cycle count unchanged.
 #[derive(Clone, Debug)]
 struct Level {
-    sets: Vec<Vec<Line>>,
+    /// All ways of all sets: set `s` occupies `lines[s*assoc..(s+1)*assoc]`.
+    lines: Vec<Line>,
+    /// Occupied ways per set (never exceeds `assoc`).
+    occupancy: Vec<u8>,
     assoc: usize,
     set_shift: u32,
     set_mask: u64,
     latency: u64,
 }
 
+const EMPTY_LINE: Line = Line { tag: 0, valid_from: 0, origin: HitWhere::L1, last_used: 0 };
+
 impl Level {
     fn new(cfg: &CacheConfig) -> Self {
         let sets = cfg.num_sets();
         assert!(sets.is_power_of_two(), "cache set count must be a power of two");
+        assert!(cfg.assoc <= u8::MAX as usize, "associativity exceeds occupancy counter");
         Level {
-            sets: vec![Vec::new(); sets],
+            lines: vec![EMPTY_LINE; sets * cfg.assoc],
+            occupancy: vec![0; sets],
             assoc: cfg.assoc,
             set_shift: cfg.line.trailing_zeros(),
             set_mask: (sets - 1) as u64,
@@ -94,7 +113,8 @@ impl Level {
     /// Look the line up; on hit, refresh LRU and return it.
     fn lookup(&mut self, line_addr: u64, now: u64) -> Option<Line> {
         let si = self.set_of(line_addr);
-        let set = &mut self.sets[si];
+        let base = si * self.assoc;
+        let set = &mut self.lines[base..base + self.occupancy[si] as usize];
         if let Some(l) = set.iter_mut().find(|l| l.tag == line_addr) {
             l.last_used = now;
             Some(*l)
@@ -106,7 +126,9 @@ impl Level {
     /// Insert (or refresh) a line arriving at `valid_from`, evicting LRU.
     fn fill(&mut self, line_addr: u64, valid_from: u64, origin: HitWhere, now: u64) {
         let si = self.set_of(line_addr);
-        let set = &mut self.sets[si];
+        let base = si * self.assoc;
+        let len = self.occupancy[si] as usize;
+        let set = &mut self.lines[base..base + len];
         if let Some(l) = set.iter_mut().find(|l| l.tag == line_addr) {
             // Refill of a present line: keep the earlier arrival.
             if valid_from < l.valid_from {
@@ -116,16 +138,19 @@ impl Level {
             l.last_used = now;
             return;
         }
-        if set.len() >= self.assoc {
-            // Evict LRU.
-            let (vi, _) = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.last_used)
-                .expect("nonempty set");
-            set.swap_remove(vi);
+        let new = Line { tag: line_addr, valid_from, origin, last_used: now };
+        if len >= self.assoc {
+            // Evict the first least-recently-used way. The old per-set
+            // `Vec` did `swap_remove(vi)` then `push`: the last way moves
+            // into the victim's slot and the new line takes the last one.
+            let (vi, _) =
+                set.iter().enumerate().min_by_key(|(_, l)| l.last_used).expect("nonempty set");
+            set[vi] = set[len - 1];
+            set[len - 1] = new;
+        } else {
+            self.lines[base + len] = new;
+            self.occupancy[si] += 1;
         }
-        set.push(Line { tag: line_addr, valid_from, origin, last_used: now });
     }
 }
 
@@ -137,23 +162,57 @@ struct MshrEntry {
 }
 
 /// A simple LRU TLB over page numbers.
+///
+/// The entry list keeps the original fully-associative LRU semantics
+/// (first-minimum eviction, swap-remove insertion), but lookups no
+/// longer scan it: a direct-indexed hint table maps `page mod size` to
+/// a candidate entry index, validated by page compare. Programs touch
+/// the same few pages over and over, so the common case is one array
+/// read plus one compare instead of a 128-entry linear scan. A stale
+/// hint (entry moved or evicted since it was recorded) just falls back
+/// to the scan and is repaired, never changing hit/miss outcomes.
 #[derive(Clone, Debug)]
 struct Tlb {
     entries: Vec<(u64, u64)>, // (page, last_used)
+    /// `page & hint_mask` → entry index + 1 (0 = no hint recorded).
+    hints: Vec<u32>,
+    hint_mask: u64,
     capacity: usize,
     page_shift: u32,
 }
 
 impl Tlb {
     fn new(capacity: usize, page_size: u64) -> Self {
-        Tlb { entries: Vec::with_capacity(capacity), capacity, page_shift: page_size.trailing_zeros() }
+        // 4× capacity keeps the hint slots sparse enough that pages in
+        // residence rarely collide.
+        let hint_slots = (capacity.max(1) * 4).next_power_of_two();
+        Tlb {
+            entries: Vec::with_capacity(capacity),
+            hints: vec![0; hint_slots],
+            hint_mask: hint_slots as u64 - 1,
+            capacity,
+            page_shift: page_size.trailing_zeros(),
+        }
     }
 
     /// Returns true on TLB hit; inserts on miss.
     fn access(&mut self, addr: u64, now: u64) -> bool {
         let page = addr >> self.page_shift;
-        if let Some(e) = self.entries.iter_mut().find(|(p, _)| *p == page) {
-            e.1 = now;
+        let slot = (page & self.hint_mask) as usize;
+        // Fast path: the hint points straight at this page's entry.
+        let hinted = self.hints[slot] as usize;
+        if hinted > 0 {
+            if let Some(e) = self.entries.get_mut(hinted - 1) {
+                if e.0 == page {
+                    e.1 = now;
+                    return true;
+                }
+            }
+        }
+        // Hint cold, stale, or collided: scan, then repair the hint.
+        if let Some(i) = self.entries.iter().position(|(p, _)| *p == page) {
+            self.entries[i].1 = now;
+            self.hints[slot] = i as u32 + 1;
             return true;
         }
         if self.entries.len() >= self.capacity {
@@ -166,6 +225,7 @@ impl Tlb {
             self.entries.swap_remove(vi);
         }
         self.entries.push((page, now));
+        self.hints[slot] = self.entries.len() as u32;
         false
     }
 }
@@ -218,8 +278,7 @@ impl Hierarchy {
 
     /// Perform a demand load at cycle `now`.
     pub fn access_load(&mut self, addr: u64, now: u64) -> AccessResult {
-        self.access(addr, now, false)
-            .expect("demand loads are never dropped")
+        self.access(addr, now, false).expect("demand loads are never dropped")
     }
 
     /// Perform a store at cycle `now` (write-allocate; the thread does not
@@ -255,7 +314,10 @@ impl Hierarchy {
         // L1.
         if let Some(l) = self.l1.lookup(line, now) {
             if l.valid_from <= now {
-                return Some(AccessResult { ready_at: now + self.l1.latency + tlb_extra, hit: HitWhere::L1 });
+                return Some(AccessResult {
+                    ready_at: now + self.l1.latency + tlb_extra,
+                    hit: HitWhere::L1,
+                });
             }
             return Some(AccessResult {
                 ready_at: l.valid_from + tlb_extra,
@@ -438,5 +500,115 @@ mod tests {
         assert_eq!(w, HitWhere::Mem);
         let r = h.access_load(0x90000, 300);
         assert_eq!(r.hit, HitWhere::L1);
+    }
+
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        *state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// The pre-flattening `Vec<Vec<Line>>` level, kept as a reference
+    /// model: the contiguous layout must match it decision for decision.
+    struct RefLevel {
+        sets: Vec<Vec<Line>>,
+        assoc: usize,
+        set_shift: u32,
+        set_mask: u64,
+    }
+
+    impl RefLevel {
+        fn set_of(&self, line_addr: u64) -> usize {
+            ((line_addr >> self.set_shift) & self.set_mask) as usize
+        }
+
+        fn lookup(&mut self, line_addr: u64, now: u64) -> Option<Line> {
+            let si = self.set_of(line_addr);
+            self.sets[si].iter_mut().find(|l| l.tag == line_addr).map(|l| {
+                l.last_used = now;
+                *l
+            })
+        }
+
+        fn fill(&mut self, line_addr: u64, valid_from: u64, origin: HitWhere, now: u64) {
+            let si = self.set_of(line_addr);
+            let set = &mut self.sets[si];
+            if let Some(l) = set.iter_mut().find(|l| l.tag == line_addr) {
+                if valid_from < l.valid_from {
+                    l.valid_from = valid_from;
+                    l.origin = origin;
+                }
+                l.last_used = now;
+                return;
+            }
+            if set.len() >= self.assoc {
+                let (vi, _) = set.iter().enumerate().min_by_key(|(_, l)| l.last_used).unwrap();
+                set.swap_remove(vi);
+            }
+            set.push(Line { tag: line_addr, valid_from, origin, last_used: now });
+        }
+    }
+
+    #[test]
+    fn flattened_level_matches_vec_of_vecs_reference() {
+        let cfg = MachineConfig::in_order();
+        let mut flat = Level::new(&cfg.l1d);
+        let mut reference = RefLevel {
+            sets: vec![Vec::new(); cfg.l1d.num_sets()],
+            assoc: cfg.l1d.assoc,
+            set_shift: cfg.l1d.line.trailing_zeros(),
+            set_mask: (cfg.l1d.num_sets() - 1) as u64,
+        };
+        let mut s = 2002u64;
+        for t in 0..20_000u64 {
+            // A handful of hot sets so evictions and refills are common.
+            let line = (xorshift(&mut s) % 512) * 64;
+            if xorshift(&mut s).is_multiple_of(3) {
+                let vf = t + xorshift(&mut s) % 100;
+                flat.fill(line, vf, HitWhere::Mem, t);
+                reference.fill(line, vf, HitWhere::Mem, t);
+            } else {
+                let a = flat.lookup(line, t);
+                let b = reference.lookup(line, t);
+                assert_eq!(a.is_some(), b.is_some(), "presence diverged at step {t}");
+                if let (Some(a), Some(b)) = (a, b) {
+                    assert_eq!(a.tag, b.tag);
+                    assert_eq!(a.valid_from, b.valid_from);
+                    assert_eq!(a.origin, b.origin);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hinted_tlb_matches_linear_scan_reference() {
+        // Reference: the old purely-linear TLB (inlined).
+        let capacity = 16;
+        let mut reference: Vec<(u64, u64)> = Vec::new();
+        let mut tlb = Tlb::new(capacity, 4096);
+        let mut s = 42u64;
+        for now in 0..50_000u64 {
+            // 24 hot pages over a 16-entry TLB: plenty of eviction, and
+            // page numbers far enough apart to exercise hint collisions.
+            let page = (xorshift(&mut s) % 24) * 257;
+            let addr = page << 12;
+            let ref_hit = if let Some(e) = reference.iter_mut().find(|(p, _)| *p == page) {
+                e.1 = now;
+                true
+            } else {
+                if reference.len() >= capacity {
+                    let (vi, _) =
+                        reference.iter().enumerate().min_by_key(|(_, (_, lu))| *lu).unwrap();
+                    reference.swap_remove(vi);
+                }
+                reference.push((page, now));
+                false
+            };
+            assert_eq!(tlb.access(addr, now), ref_hit, "hit/miss diverged at cycle {now}");
+            assert_eq!(tlb.entries, reference, "entry state diverged at cycle {now}");
+        }
     }
 }

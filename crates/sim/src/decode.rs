@@ -1,0 +1,206 @@
+//! Pre-decoded instruction side table.
+//!
+//! The cycle loop used to re-derive an instruction's functional-unit
+//! class and source-register list (with a fresh `Vec`) every time it was
+//! issued — once per dynamic instruction. This module computes those
+//! facts once per *static* instruction, up front, into one flat,
+//! cache-friendly array. The engine then indexes the table by
+//! [`InstRef`] with two small lookups and touches no heap in the hot
+//! path.
+//!
+//! The table is derived data only: functional execution still reads the
+//! [`Program`] itself, so the decoded view cannot drift from program
+//! semantics, and the `uses` array is filled by the same visitor that
+//! backs [`Op::uses_into`], so stall-reporting order is identical by
+//! construction.
+
+use ssp_ir::inst::MAX_USES;
+use ssp_ir::{InstRef, InstTag, Op, Program, Reg};
+
+/// Functional-unit classes (Table 1: 4 int, 2 FP, 3 branch, 2 mem ports).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FuClass {
+    /// Integer ALU.
+    Int = 0,
+    /// Floating-point unit.
+    Fp = 1,
+    /// Branch unit.
+    Branch = 2,
+    /// Memory port.
+    Mem = 3,
+}
+
+/// The functional-unit class executing `op`.
+pub fn fu_class(op: &Op) -> FuClass {
+    match op {
+        Op::FAlu { .. } => FuClass::Fp,
+        Op::Ld { .. } | Op::St { .. } | Op::Lfetch { .. } | Op::LibLd { .. } | Op::LibSt { .. } => {
+            FuClass::Mem
+        }
+        Op::Br { .. }
+        | Op::BrCond { .. }
+        | Op::Call { .. }
+        | Op::CallInd { .. }
+        | Op::Ret
+        | Op::Spawn { .. }
+        | Op::KillThread => FuClass::Branch,
+        _ => FuClass::Int,
+    }
+}
+
+/// Everything the timing model needs about one static instruction.
+#[derive(Clone, Copy, Debug)]
+pub struct DecodedInst {
+    /// Source registers, in [`Op::uses_into`] order; only the first
+    /// `n_uses` entries are meaningful.
+    uses: [Reg; MAX_USES],
+    /// Number of valid entries in `uses`.
+    n_uses: u8,
+    /// Which functional unit executes this instruction.
+    pub fu: FuClass,
+    /// Profile identity (avoids re-walking the program for loads).
+    pub tag: InstTag,
+    /// [`Op::is_load`].
+    pub is_load: bool,
+    /// [`Op::is_store`].
+    pub is_store: bool,
+    /// [`Op::is_terminator`].
+    pub is_terminator: bool,
+}
+
+impl DecodedInst {
+    fn new(op: &Op, tag: InstTag) -> Self {
+        let mut uses = [Reg(0); MAX_USES];
+        let n_uses = op.uses_fixed(&mut uses) as u8;
+        DecodedInst {
+            uses,
+            n_uses,
+            fu: fu_class(op),
+            tag,
+            is_load: op.is_load(),
+            is_store: op.is_store(),
+            is_terminator: op.is_terminator(),
+        }
+    }
+
+    /// The source registers, in use order.
+    #[inline]
+    pub fn uses(&self) -> &[Reg] {
+        &self.uses[..self.n_uses as usize]
+    }
+}
+
+/// A flat side table of [`DecodedInst`]s for one [`Program`].
+///
+/// Lookup is two array reads: per-function bases give each function's
+/// run of blocks, per-block bases give each block's run of instructions.
+#[derive(Clone, Debug)]
+pub struct DecodedProgram {
+    /// Per function: index of its first block in `block_base`.
+    func_base: Vec<u32>,
+    /// Per block (all functions, flattened): index of its first
+    /// instruction in `insts`.
+    block_base: Vec<u32>,
+    insts: Vec<DecodedInst>,
+}
+
+impl DecodedProgram {
+    /// Decode every instruction of `prog`.
+    pub fn new(prog: &Program) -> Self {
+        let mut func_base = Vec::with_capacity(prog.funcs.len());
+        let mut block_base = Vec::new();
+        let mut insts = Vec::with_capacity(prog.inst_count());
+        for f in &prog.funcs {
+            func_base.push(block_base.len() as u32);
+            for b in &f.blocks {
+                block_base.push(insts.len() as u32);
+                for i in &b.insts {
+                    insts.push(DecodedInst::new(&i.op, i.tag));
+                }
+            }
+        }
+        DecodedProgram { func_base, block_base, insts }
+    }
+
+    /// The decoded entry for the instruction at `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component of `r` is out of range for the decoded
+    /// program.
+    #[inline]
+    pub fn get(&self, r: InstRef) -> &DecodedInst {
+        let fb = self.func_base[r.func.0 as usize] as usize + r.block.index();
+        &self.insts[self.block_base[fb] as usize + r.idx]
+    }
+
+    /// Number of decoded instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program had no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssp_ir::{conv, BlockId, FuncId, Operand, ProgramBuilder};
+
+    fn sample() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("leaf");
+        let e = f.entry_block();
+        f.at(e).add(conv::RV, conv::arg(0), Operand::Imm(1)).ret();
+        let leaf = pb.install(f.finish());
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        let done = f.new_block();
+        f.at(e).movi(Reg(1), 5).ld(Reg(2), Reg(1), 0).st(Reg(2), Reg(1), 8).call(leaf, 1).br(done);
+        f.at(done).halt();
+        let main = f.finish();
+        pb.finish_with(main)
+    }
+
+    #[test]
+    fn decoded_matches_op_queries() {
+        let prog = sample();
+        let d = DecodedProgram::new(&prog);
+        assert_eq!(d.len(), prog.inst_count());
+        assert!(!d.is_empty());
+        for (fid, f) in prog.iter_funcs() {
+            for (bid, b) in f.iter_blocks() {
+                for (i, inst) in b.insts.iter().enumerate() {
+                    let r = InstRef { func: fid, block: bid, idx: i };
+                    let e = d.get(r);
+                    assert_eq!(e.uses(), inst.op.uses().as_slice(), "at {r}");
+                    assert_eq!(e.fu, fu_class(&inst.op), "at {r}");
+                    assert_eq!(e.tag, inst.tag, "at {r}");
+                    assert_eq!(e.is_load, inst.op.is_load(), "at {r}");
+                    assert_eq!(e.is_store, inst.op.is_store(), "at {r}");
+                    assert_eq!(e.is_terminator, inst.op.is_terminator(), "at {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_crosses_function_boundaries() {
+        let prog = sample();
+        let d = DecodedProgram::new(&prog);
+        // main is the second function; its first instruction is `movi`.
+        let main = prog.func_by_name("main").unwrap();
+        let r = InstRef { func: main, block: prog.func(main).entry, idx: 0 };
+        assert_eq!(d.get(r).uses(), &[] as &[Reg]);
+        assert_eq!(d.get(r).fu, FuClass::Int);
+        // The leaf's `ret` is a branch-class terminator.
+        let leaf = prog.func_by_name("leaf").unwrap();
+        let r = InstRef { func: leaf, block: BlockId(0), idx: 1 };
+        assert!(d.get(r).is_terminator);
+        assert_eq!(d.get(r).fu, FuClass::Branch);
+        let _ = FuncId(0);
+    }
+}

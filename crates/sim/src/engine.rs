@@ -26,41 +26,16 @@
 //! additionally drops any store a speculative thread tries to execute).
 
 use crate::branch::{static_pc, Btb, Gshare};
-use crate::stride::StridePrefetcher;
-use crate::cache::{HitWhere, Hierarchy};
+use crate::cache::{Hierarchy, HitWhere};
 use crate::config::{MachineConfig, MemoryMode, PipelineKind};
+use crate::decode::{fu_class, DecodedProgram, FuClass};
 use crate::exec::{alu_eval, cmp_eval, falu_eval, RegFile};
 use crate::mem::{LiveInBuffer, Memory, LIB_NO_SLOT};
 use crate::stats::SimResult;
+use crate::stride::StridePrefetcher;
 use ssp_ir::reg::{conv, NUM_REGS};
 use ssp_ir::{BlockId, FuncId, InstRef, Op, Program};
 use std::collections::VecDeque;
-
-/// Functional-unit classes (Table 1: 4 int, 2 FP, 3 branch, 2 mem ports).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum FuClass {
-    Int = 0,
-    Fp = 1,
-    Branch = 2,
-    Mem = 3,
-}
-
-fn fu_class(op: &Op) -> FuClass {
-    match op {
-        Op::FAlu { .. } => FuClass::Fp,
-        Op::Ld { .. } | Op::St { .. } | Op::Lfetch { .. } | Op::LibLd { .. } | Op::LibSt { .. } => {
-            FuClass::Mem
-        }
-        Op::Br { .. }
-        | Op::BrCond { .. }
-        | Op::Call { .. }
-        | Op::CallInd { .. }
-        | Op::Ret
-        | Op::Spawn { .. }
-        | Op::KillThread => FuClass::Branch,
-        _ => FuClass::Int,
-    }
-}
 
 /// Why a thread could not issue/dispatch this cycle.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -129,10 +104,9 @@ impl Thread {
 
     fn has_outstanding_miss(&self, now: u64) -> bool {
         self.outstanding.iter().any(|&(r, h)| r > now && h.is_l1_miss())
-            || self
-                .rob
-                .iter()
-                .any(|e| e.is_load && e.complete_at > now && e.hit.is_some_and(HitWhere::is_l1_miss))
+            || self.rob.iter().any(|e| {
+                e.is_load && e.complete_at > now && e.hit.is_some_and(HitWhere::is_l1_miss)
+            })
     }
 }
 
@@ -152,6 +126,13 @@ enum Flow {
 /// [`Engine::run`].
 pub struct Engine<'a> {
     prog: &'a Program,
+    /// Pre-decoded side table: FU class, use lists, flags, and tags,
+    /// computed once so the cycle loop allocates nothing.
+    decode: DecodedProgram,
+    /// When set, re-derive use lists and FU classes from the [`Op`] on
+    /// every issue (the pre-optimization behaviour). Only differential
+    /// tests use this; results must be bit-identical to the fast path.
+    reference: bool,
     cfg: &'a MachineConfig,
     mem: Memory,
     lib: LiveInBuffer,
@@ -191,6 +172,8 @@ impl<'a> Engine<'a> {
         });
         Engine {
             prog,
+            decode: DecodedProgram::new(prog),
+            reference: false,
             cfg,
             mem,
             lib: LiveInBuffer::new(cfg.lib_slots, cfg.lib_slot_words),
@@ -207,9 +190,7 @@ impl<'a> Engine<'a> {
             fu_ring: VecDeque::new(),
             fu_ring_base: 0,
             rr_next: 1,
-            stride: cfg
-                .stride_prefetcher
-                .then(|| StridePrefetcher::new(cfg.stride_degree)),
+            stride: cfg.stride_prefetcher.then(|| StridePrefetcher::new(cfg.stride_degree)),
         }
     }
 
@@ -250,8 +231,7 @@ impl<'a> Engine<'a> {
         // side can use it when the other cannot.
         let n = self.threads.len();
         let mut bundles_left = self.cfg.bundles_per_cycle;
-        let main_ready =
-            self.threads[0].active() && self.threads[0].fetch_ready <= self.cycle;
+        let main_ready = self.threads[0].active() && self.threads[0].fetch_ready <= self.cycle;
         if self.threads[0].active() && !main_ready {
             main_stall = Some(StallReason::FetchWait);
         }
@@ -355,11 +335,15 @@ impl<'a> Engine<'a> {
     fn issue_thread(&mut self, tid: usize, max: usize) -> (usize, Option<StallReason>, bool) {
         let mut count = 0usize;
         let ooo = self.cfg.pipeline == PipelineKind::OutOfOrder;
+        // `prog` is copied out of `self` so `op` borrows the program (not
+        // the engine) and stays usable across `&mut self` calls below —
+        // the per-issue `Op::clone` this loop used to do is gone.
+        let prog = self.prog;
         while count < max {
             let Some(at) = self.threads[tid].pc else {
                 return (count, None, false);
             };
-            let op = self.prog.inst(at).op.clone();
+            let op = &prog.inst(at).op;
 
             if ooo {
                 if self.threads[tid].rob.len() >= self.cfg.rob_entries {
@@ -375,11 +359,8 @@ impl<'a> Engine<'a> {
                 }
                 // RS entries are freed at issue, not completion: only
                 // instructions still waiting for operands occupy one.
-                let waiting = self.threads[tid]
-                    .rob
-                    .iter()
-                    .filter(|e| e.start_at > self.cycle)
-                    .count();
+                let waiting =
+                    self.threads[tid].rob.iter().filter(|e| e.start_at > self.cycle).count();
                 if waiting >= self.cfg.rs_entries {
                     let h = self.threads[tid]
                         .rob
@@ -389,31 +370,43 @@ impl<'a> Engine<'a> {
                     return (count, Some(StallReason::RsFull(h)), false);
                 }
             } else {
-                // In-order: all sources must be ready now.
-                let mut uses = Vec::new();
-                op.uses_into(&mut uses);
-                for u in uses {
-                    if self.threads[tid].reg_ready[u.index()] > self.cycle {
-                        return (
-                            count,
-                            Some(StallReason::SrcNotReady(self.threads[tid].reg_src[u.index()])),
-                            false,
-                        );
+                // In-order: all sources must be ready now. The stall
+                // payload reports the *first* unready source in use
+                // order, which the decoded table preserves.
+                let mut stall = None;
+                if self.reference {
+                    let mut uses = Vec::new();
+                    op.uses_into(&mut uses);
+                    for u in uses {
+                        if self.threads[tid].reg_ready[u.index()] > self.cycle {
+                            stall = Some(self.threads[tid].reg_src[u.index()]);
+                            break;
+                        }
                     }
+                } else {
+                    for &u in self.decode.get(at).uses() {
+                        if self.threads[tid].reg_ready[u.index()] > self.cycle {
+                            stall = Some(self.threads[tid].reg_src[u.index()]);
+                            break;
+                        }
+                    }
+                }
+                if let Some(src) = stall {
+                    return (count, Some(StallReason::SrcNotReady(src)), false);
                 }
             }
 
             // Functional-unit check (in-order uses per-cycle counters;
             // OOO books at the computed start time inside exec).
-            let class = fu_class(&op);
             if !ooo {
+                let class = self.fu_of(at, op);
                 if self.fu_used[class as usize] >= self.fu_limits[class as usize] {
                     return (count, Some(StallReason::Structural), false);
                 }
                 self.fu_used[class as usize] += 1;
             }
 
-            let flow = self.exec_inst(tid, at, &op);
+            let flow = self.exec_inst(tid, at, op);
             count += 1;
             if tid == 0 && self.effective_roi() {
                 self.result.main_insts += 1;
@@ -447,17 +440,34 @@ impl<'a> Engine<'a> {
 
     /// Start time of an instruction: current cycle (in-order) or the max
     /// of its operands' ready times (OOO, perfect renaming).
-    fn start_time(&self, tid: usize, op: &Op) -> u64 {
+    fn start_time(&self, tid: usize, at: InstRef, op: &Op) -> u64 {
         if self.cfg.pipeline == PipelineKind::InOrder {
             return self.cycle;
         }
         let mut t = self.cycle;
-        let mut uses = Vec::new();
-        op.uses_into(&mut uses);
-        for u in uses {
-            t = t.max(self.threads[tid].reg_ready[u.index()]);
+        if self.reference {
+            let mut uses = Vec::new();
+            op.uses_into(&mut uses);
+            for u in uses {
+                t = t.max(self.threads[tid].reg_ready[u.index()]);
+            }
+        } else {
+            for &u in self.decode.get(at).uses() {
+                t = t.max(self.threads[tid].reg_ready[u.index()]);
+            }
         }
         t
+    }
+
+    /// Functional-unit class of the instruction at `at` (decoded table in
+    /// the fast path, re-derived from the op in reference mode).
+    #[inline]
+    fn fu_of(&self, at: InstRef, op: &Op) -> FuClass {
+        if self.reference {
+            fu_class(op)
+        } else {
+            self.decode.get(at).fu
+        }
     }
 
     fn finish_write(
@@ -523,8 +533,13 @@ impl<'a> Engine<'a> {
     /// Execute one instruction functionally and apply its timing.
     fn exec_inst(&mut self, tid: usize, at: InstRef, op: &Op) -> Flow {
         let ooo = self.cfg.pipeline == PipelineKind::OutOfOrder;
-        let start0 = self.start_time(tid, op);
-        let start = if ooo { self.book_fu(fu_class(op), start0) } else { start0 };
+        let start0 = self.start_time(tid, at, op);
+        let start = if ooo {
+            let class = self.fu_of(at, op);
+            self.book_fu(class, start0)
+        } else {
+            start0
+        };
         let next = self.next_ref(at);
         let spec = self.threads[tid].speculative;
 
@@ -585,7 +600,7 @@ impl<'a> Engine<'a> {
             Op::Ld { dst, base, off } => {
                 let addr = self.threads[tid].rf.read(base).wrapping_add(off as u64);
                 let v = self.mem.read(addr);
-                let tag = self.prog.inst(at).tag;
+                let tag = self.decode.get(at).tag;
                 let (ready, hit) = self.load_access(tag, addr, start);
                 // Hardware stride prefetcher observes demand loads.
                 if self.cfg.memory_mode == MemoryMode::Normal {
@@ -853,4 +868,17 @@ impl SimResult {
 /// Run `prog` on the machine described by `cfg`.
 pub fn simulate(prog: &Program, cfg: &MachineConfig) -> SimResult {
     Engine::new(prog, cfg).run()
+}
+
+/// Run `prog` with the pre-decode fast path disabled: use lists and
+/// functional-unit classes are re-derived from each [`Op`] on every
+/// issue, as the engine did before the side table existed.
+///
+/// This exists so differential tests can assert the optimized engine is
+/// bit-identical to the original behaviour; it is not meant for regular
+/// use.
+pub fn simulate_reference(prog: &Program, cfg: &MachineConfig) -> SimResult {
+    let mut e = Engine::new(prog, cfg);
+    e.reference = true;
+    e.run()
 }

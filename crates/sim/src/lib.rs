@@ -43,6 +43,7 @@
 pub mod branch;
 pub mod cache;
 pub mod config;
+pub mod decode;
 pub mod engine;
 pub mod exec;
 pub mod mem;
@@ -52,8 +53,9 @@ pub mod stride;
 
 pub use cache::{AccessResult, Hierarchy, HitWhere};
 pub use config::{CacheConfig, MachineConfig, MemoryMode, PipelineKind};
-pub use engine::{simulate, Engine};
+pub use decode::{DecodedInst, DecodedProgram};
+pub use engine::{simulate, simulate_reference, Engine};
 pub use mem::{LiveInBuffer, Memory, LIB_NO_SLOT};
 pub use profile::{profile, LoadProfile, Profile};
-pub use stride::StridePrefetcher;
 pub use stats::{speedup, CycleBreakdown, LoadStats, SimResult};
+pub use stride::StridePrefetcher;

@@ -63,12 +63,7 @@ pub const LIB_NO_SLOT: u64 = u64::MAX;
 impl LiveInBuffer {
     /// A buffer with `slots` slots of `words_per_slot` words each.
     pub fn new(slots: usize, words_per_slot: u8) -> Self {
-        LiveInBuffer {
-            slots: vec![None; slots],
-            words_per_slot,
-            allocs: 0,
-            alloc_failures: 0,
-        }
+        LiveInBuffer { slots: vec![None; slots], words_per_slot, allocs: 0, alloc_failures: 0 }
     }
 
     /// Allocate a slot; returns its id or [`LIB_NO_SLOT`].

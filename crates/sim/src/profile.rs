@@ -92,9 +92,7 @@ impl Profile {
     /// Average dynamic instructions per invocation of the call at `site`
     /// (nested calls included), if it was profiled.
     pub fn avg_call_cost(&self, site: InstRef) -> Option<f64> {
-        self.call_cost.get(&site).and_then(|&(total, n)| {
-            (n > 0).then(|| total as f64 / n as f64)
-        })
+        self.call_cost.get(&site).and_then(|&(total, n)| (n > 0).then(|| total as f64 / n as f64))
     }
 
     /// Average trip count of a loop given its header and preheader
@@ -160,14 +158,15 @@ pub fn profile(prog: &Program, cfg: &MachineConfig) -> Profile {
         }
         let inst = prog.inst(pc);
         let next = InstRef { idx: pc.idx + 1, ..pc };
-        let enter = |out: &mut Profile, in_roi: bool, f: FuncId, from: Option<BlockId>, b: BlockId| {
-            if in_roi {
-                *out.block_freq.entry((f, b)).or_insert(0) += 1;
-                if let Some(fr) = from {
-                    *out.edge_freq.entry((f, fr, b)).or_insert(0) += 1;
+        let enter =
+            |out: &mut Profile, in_roi: bool, f: FuncId, from: Option<BlockId>, b: BlockId| {
+                if in_roi {
+                    *out.block_freq.entry((f, b)).or_insert(0) += 1;
+                    if let Some(fr) = from {
+                        *out.edge_freq.entry((f, fr, b)).or_insert(0) += 1;
+                    }
                 }
-            }
-        };
+            };
         match inst.op {
             Op::Movi { dst, imm } => {
                 rf.write(dst, imm as u64);
@@ -243,12 +242,7 @@ pub fn profile(prog: &Program, cfg: &MachineConfig) -> Profile {
                     Some(f) if (f.0 as usize) < prog.funcs.len() => {
                         if in_roi {
                             *out.call_freq.entry(pc).or_insert(0) += 1;
-                            *out
-                                .indirect_targets
-                                .entry(pc)
-                                .or_default()
-                                .entry(f)
-                                .or_insert(0) += 1;
+                            *out.indirect_targets.entry(pc).or_default().entry(f).or_insert(0) += 1;
                         }
                         stack.push((next, pc, executed));
                         let eb = prog.func(f).entry;
@@ -305,11 +299,7 @@ mod tests {
         let b0 = f.entry_block();
         let body = f.new_block();
         let exit = f.new_block();
-        f.at(b0)
-            .movi(Reg(1), 0x10_0000)
-            .movi(Reg(2), 0)
-            .movi(Reg(3), n)
-            .br(body);
+        f.at(b0).movi(Reg(1), 0x10_0000).movi(Reg(2), 0).movi(Reg(3), n).br(body);
         f.at(body)
             .ld(Reg(4), Reg(1), 0)
             .add(Reg(1), Reg(1), 64)
@@ -390,16 +380,12 @@ mod tests {
         let body = f.new_block();
         let exit = f.new_block();
         // Pre-ROI load, then ROI with a small loop.
-        f.at(b0)
-            .movi(Reg(1), 0x2000)
-            .ld(Reg(4), Reg(1), 0)
-            .roi_begin()
-            .movi(Reg(2), 0)
-            .br(body);
-        f.at(body)
-            .add(Reg(2), Reg(2), 1)
-            .cmp(CmpKind::Lt, Reg(5), Reg(2), 10)
-            .br_cond(Reg(5), body, exit);
+        f.at(b0).movi(Reg(1), 0x2000).ld(Reg(4), Reg(1), 0).roi_begin().movi(Reg(2), 0).br(body);
+        f.at(body).add(Reg(2), Reg(2), 1).cmp(CmpKind::Lt, Reg(5), Reg(2), 10).br_cond(
+            Reg(5),
+            body,
+            exit,
+        );
         f.at(exit).roi_end().halt();
         let main = f.finish();
         let prog = pb.finish_with(main);

@@ -95,7 +95,11 @@ impl CycleBreakdown {
 }
 
 /// Complete result of one timed simulation.
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq` compares every field, so two results are equal only when
+/// the runs were cycle-for-cycle identical — what the differential and
+/// determinism tests assert.
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct SimResult {
     /// Cycles spent inside the region of interest (whole run if the
     /// program has no ROI markers).
@@ -182,7 +186,8 @@ mod tests {
 
     #[test]
     fn breakdown_total() {
-        let b = CycleBreakdown { l3_miss: 1, l2_miss: 2, l1_miss: 3, cache_exec: 4, exec: 5, other: 6 };
+        let b =
+            CycleBreakdown { l3_miss: 1, l2_miss: 2, l1_miss: 3, cache_exec: 4, exec: 5, other: 6 };
         assert_eq!(b.total(), 21);
     }
 

@@ -4,7 +4,7 @@
 
 use ssp_ir::reg::conv;
 use ssp_ir::{CmpKind, Operand, Program, ProgramBuilder, Reg};
-use ssp_sim::{simulate, MachineConfig, MemoryMode, PipelineKind};
+use ssp_sim::{simulate, simulate_reference, MachineConfig, MemoryMode, PipelineKind};
 
 const ARCS: u64 = 0x0100_0000;
 const NODES: u64 = 0x0800_0000;
@@ -33,13 +33,8 @@ fn pointer_chase_program() -> Program {
     let e = f.entry_block();
     let body = f.new_block();
     let exit = f.new_block();
-    let (arc, k, t, u, v, sum, p) =
-        (Reg(64), Reg(65), Reg(66), Reg(67), Reg(68), Reg(69), Reg(70));
-    f.at(e)
-        .movi(arc, ARCS as i64)
-        .movi(k, ARCS as i64 + 64 * N)
-        .movi(sum, 0)
-        .br(body);
+    let (arc, k, t, u, v, sum, p) = (Reg(64), Reg(65), Reg(66), Reg(67), Reg(68), Reg(69), Reg(70));
+    f.at(e).movi(arc, ARCS as i64).movi(k, ARCS as i64 + 64 * N).movi(sum, 0).br(body);
     f.at(body)
         .mov(t, arc)
         .ld(u, t, 0) // u = t->tail
@@ -71,13 +66,8 @@ fn pointer_chase_ssp() -> Program {
     let exit = f.new_block();
     let stub = f.new_block();
     let slice = f.new_block();
-    let (arc, k, t, u, v, sum, p) =
-        (Reg(64), Reg(65), Reg(66), Reg(67), Reg(68), Reg(69), Reg(70));
-    f.at(e)
-        .movi(arc, ARCS as i64)
-        .movi(k, ARCS as i64 + 64 * N)
-        .movi(sum, 0)
-        .br(pre);
+    let (arc, k, t, u, v, sum, p) = (Reg(64), Reg(65), Reg(66), Reg(67), Reg(68), Reg(69), Reg(70));
+    f.at(e).movi(arc, ARCS as i64).movi(k, ARCS as i64 + 64 * N).movi(sum, 0).br(pre);
     // Trigger point: the `chk.c` sits in the loop, so whenever a hardware
     // context is free a fresh chain is seeded from the main thread's
     // current position; while contexts are busy it is a nop. The stub
@@ -99,12 +89,7 @@ fn pointer_chase_ssp() -> Program {
     // Stub (executed by the main thread as chk.c recovery code):
     // copy live-ins {arc, k} to a fresh LIB slot, spawn, resume.
     let slot = Reg(20);
-    f.at(stub)
-        .lib_alloc(slot)
-        .lib_st(slot, 0, arc)
-        .lib_st(slot, 1, k)
-        .spawn(slice, slot)
-        .br(rest);
+    f.at(stub).lib_alloc(slot).lib_st(slot, 0, arc).lib_st(slot, 1, k).spawn(slice, slot).br(rest);
 
     // Chaining slice (Figure 5(b)): critical sub-slice first, then spawn
     // the next chaining thread, then the two dependent loads.
@@ -320,10 +305,7 @@ fn runaway_speculative_thread_is_killed() {
     let (i, p) = (Reg(64), Reg(65));
     f.at(e).lib_alloc(slot).spawn(spin, slot).movi(i, 0).br(wait);
     // Main busy-waits long enough for the cap to trigger.
-    f.at(wait)
-        .add(i, i, 1)
-        .cmp(CmpKind::Lt, p, i, 20_000)
-        .br_cond(p, wait, exit);
+    f.at(wait).add(i, i, 1).cmp(CmpKind::Lt, p, i, 20_000).br_cond(p, wait, exit);
     f.at(exit).halt();
     f.at(spin).add(Reg(30), Reg(30), 1).br(spin);
     let main = f.finish();
@@ -345,10 +327,7 @@ fn speculative_store_does_not_modify_memory() {
     let spin = f.new_block();
     let (slot, i, p, v) = (Reg(20), Reg(64), Reg(65), Reg(66));
     f.at(e).lib_alloc(slot).spawn(spin, slot).movi(i, 0).br(wait);
-    f.at(wait)
-        .add(i, i, 1)
-        .cmp(CmpKind::Lt, p, i, 3000)
-        .br_cond(p, wait, check);
+    f.at(wait).add(i, i, 1).cmp(CmpKind::Lt, p, i, 3000).br_cond(p, wait, check);
     // Read 0x1000: must still be 7, else spin forever (the run would then
     // hit the cycle cap and report !halted).
     let good = f.new_block();
@@ -361,11 +340,7 @@ fn speculative_store_does_not_modify_memory() {
     f.at(good).halt();
     f.at(bad).br(bad);
     // The rogue slice writes 99 to 0x1000 then dies.
-    f.at(spin)
-        .movi(Reg(30), 0x1000)
-        .movi(Reg(31), 99)
-        .st(Reg(31), Reg(30), 0)
-        .kill_thread();
+    f.at(spin).movi(Reg(30), 0x1000).movi(Reg(31), 99).st(Reg(31), Reg(30), 0).kill_thread();
     let main = f.finish();
     let mut prog = pb.finish_with(main);
     prog.funcs[0].blocks[spin.index()].attachment = true;
@@ -399,11 +374,7 @@ fn lib_values_flow_parent_to_child() {
     f.at(wait).add(i, i, 1).cmp(CmpKind::Lt, p, i, 500).br_cond(p, wait, exit);
     f.at(exit).halt();
     let (cv,) = (Reg(30),);
-    f.at(slice)
-        .lib_ld(cv, conv::SLOT, 0)
-        .lfetch(cv, 0)
-        .lib_free(conv::SLOT)
-        .kill_thread();
+    f.at(slice).lib_ld(cv, conv::SLOT, 0).lfetch(cv, 0).lib_free(conv::SLOT).kill_thread();
     let main = f.finish();
     let mut prog = pb.finish_with(main);
     prog.funcs[0].blocks[slice.index()].attachment = true;
@@ -439,10 +410,7 @@ fn roi_markers_limit_cycle_accounting() {
         }
         c.movi(i, 0).br(exit);
         let done = f.new_block();
-        f.at(exit)
-            .add(i, i, 1)
-            .cmp(CmpKind::Lt, p, i, 100)
-            .br_cond(p, exit, done);
+        f.at(exit).add(i, i, 1).cmp(CmpKind::Lt, p, i, 100).br_cond(p, exit, done);
         let mut c = f.at(done);
         if with_roi {
             c = c.roi_end();
@@ -455,6 +423,49 @@ fn roi_markers_limit_cycle_accounting() {
     let roi = simulate(&build(true), &MachineConfig::in_order());
     assert!(roi.cycles < full.cycles / 4, "ROI excludes the missy warm-up");
     assert!(roi.total_cycles >= full.cycles / 2, "total still includes warm-up");
+}
+
+/// Differential check of the pre-decoded hot path: for every workload in
+/// the suite, on both machine models, the optimized engine must produce
+/// a `SimResult` equal in every field (cycles, instruction counts, cycle
+/// breakdown, per-load hit stats, spawn counters) to the reference
+/// engine that re-derives uses and FU classes from the `Op` at issue
+/// time. Cycle-capped because tier-1 runs this in a debug build.
+#[test]
+fn predecoded_engine_matches_reference_on_all_workloads() {
+    let mut io = MachineConfig::in_order();
+    io.max_cycles = 150_000;
+    let mut ooo = MachineConfig::out_of_order();
+    ooo.max_cycles = 150_000;
+    for w in ssp_workloads::suite(2002) {
+        for cfg in [&io, &ooo] {
+            let fast = simulate(&w.program, cfg);
+            let reference = simulate_reference(&w.program, cfg);
+            assert_eq!(
+                fast, reference,
+                "pre-decoded engine diverged from reference on {} ({:?})",
+                w.name, cfg.pipeline
+            );
+        }
+    }
+}
+
+/// Same differential check on the hand-adapted SSP binary, so the
+/// speculative side (spawns, LIB traffic, chaining threads) is covered
+/// too, not just main-thread execution.
+#[test]
+fn predecoded_engine_matches_reference_with_speculative_threads() {
+    let prog = pointer_chase_ssp();
+    for cfg in [MachineConfig::in_order(), MachineConfig::out_of_order()] {
+        let fast = simulate(&prog, &cfg);
+        let reference = simulate_reference(&prog, &cfg);
+        assert!(fast.threads_spawned > 0, "test must exercise speculation");
+        assert_eq!(
+            fast, reference,
+            "pre-decoded engine diverged from reference on the SSP binary ({:?})",
+            cfg.pipeline
+        );
+    }
 }
 
 #[test]

@@ -23,13 +23,8 @@ fn pointer_chase_ssp() -> Program {
     let exit = f.new_block();
     let stub = f.new_block();
     let slice = f.new_block();
-    let (arc, k, t, u, v, sum, p) =
-        (Reg(64), Reg(65), Reg(66), Reg(67), Reg(68), Reg(69), Reg(70));
-    f.at(e)
-        .movi(arc, ARCS as i64)
-        .movi(k, ARCS as i64 + 64 * N)
-        .movi(sum, 0)
-        .br(pre);
+    let (arc, k, t, u, v, sum, p) = (Reg(64), Reg(65), Reg(66), Reg(67), Reg(68), Reg(69), Reg(70));
+    f.at(e).movi(arc, ARCS as i64).movi(k, ARCS as i64 + 64 * N).movi(sum, 0).br(pre);
     let rest = f.new_block();
     f.at(pre).br(body);
     // Trigger block: the `chk.c` fires at most once per loop iteration;
@@ -46,12 +41,7 @@ fn pointer_chase_ssp() -> Program {
         .br_cond(p, body, exit);
     f.at(exit).halt();
     let slot = Reg(20);
-    f.at(stub)
-        .lib_alloc(slot)
-        .lib_st(slot, 0, arc)
-        .lib_st(slot, 1, k)
-        .spawn(slice, slot)
-        .br(rest);
+    f.at(stub).lib_alloc(slot).lib_st(slot, 0, arc).lib_st(slot, 1, k).spawn(slice, slot).br(rest);
     let (st, sk, snext, sp_, su, sslot) = (Reg(30), Reg(31), Reg(32), Reg(33), Reg(34), Reg(35));
     let spawn_blk = f.new_block();
     let work = f.new_block();

@@ -16,25 +16,13 @@ fn chain_gate_passes_live_in_values() {
     let spawn_blk = f.new_block();
     let work = f.new_block();
     let (arc, k, i, p) = (Reg(64), Reg(65), Reg(66), Reg(67));
-    f.at(e)
-        .movi(arc, 0x1000)
-        .movi(k, 0x1000 + 64 * 50)
-        .movi(i, 0)
-        .br(body);
+    f.at(e).movi(arc, 0x1000).movi(k, 0x1000 + 64 * 50).movi(i, 0).br(body);
     let rest = f.new_block();
     f.at(body).chk_c(stub).br(rest);
-    f.at(rest)
-        .add(i, i, 1)
-        .cmp(CmpKind::Lt, p, i, 2000)
-        .br_cond(p, body, exit);
+    f.at(rest).add(i, i, 1).cmp(CmpKind::Lt, p, i, 2000).br_cond(p, body, exit);
     f.at(exit).halt();
     let slot = Reg(20);
-    f.at(stub)
-        .lib_alloc(slot)
-        .lib_st(slot, 0, arc)
-        .lib_st(slot, 1, k)
-        .spawn(slice, slot)
-        .br(rest);
+    f.at(stub).lib_alloc(slot).lib_st(slot, 0, arc).lib_st(slot, 1, k).spawn(slice, slot).br(rest);
     let (st, sk, snext, sp_, sslot) = (Reg(30), Reg(31), Reg(32), Reg(33), Reg(35));
     f.at(slice)
         .lib_ld(st, conv::SLOT, 0)
@@ -60,7 +48,11 @@ fn chain_gate_passes_live_in_values() {
     let r = simulate(&prog, &cfg);
     println!(
         "halted={} spawned={} fired={} dropped={} spec_insts={} avg_child={:.1}",
-        r.halted, r.threads_spawned, r.spawns_fired, r.spawns_dropped, r.spec_insts,
+        r.halted,
+        r.threads_spawned,
+        r.spawns_fired,
+        r.spawns_dropped,
+        r.spec_insts,
         r.spec_insts as f64 / r.threads_spawned.max(1) as f64
     );
     assert!(r.halted);
@@ -72,10 +64,6 @@ fn chain_gate_passes_live_in_values() {
         r.spawns_fired
     );
 }
-
-
-
-
 
 #[test] // variant: real load in work block
 fn chain_gate_with_real_load() {
@@ -89,25 +77,13 @@ fn chain_gate_with_real_load() {
     let spawn_blk = f.new_block();
     let work = f.new_block();
     let (arc, k, i, p) = (Reg(64), Reg(65), Reg(66), Reg(67));
-    f.at(e)
-        .movi(arc, 0x1000)
-        .movi(k, 0x1000 + 64 * 50)
-        .movi(i, 0)
-        .br(body);
+    f.at(e).movi(arc, 0x1000).movi(k, 0x1000 + 64 * 50).movi(i, 0).br(body);
     let rest = f.new_block();
     f.at(body).chk_c(stub).br(rest);
-    f.at(rest)
-        .add(i, i, 1)
-        .cmp(CmpKind::Lt, p, i, 2000)
-        .br_cond(p, body, exit);
+    f.at(rest).add(i, i, 1).cmp(CmpKind::Lt, p, i, 2000).br_cond(p, body, exit);
     f.at(exit).halt();
     let slot = Reg(20);
-    f.at(stub)
-        .lib_alloc(slot)
-        .lib_st(slot, 0, arc)
-        .lib_st(slot, 1, k)
-        .spawn(slice, slot)
-        .br(rest);
+    f.at(stub).lib_alloc(slot).lib_st(slot, 0, arc).lib_st(slot, 1, k).spawn(slice, slot).br(rest);
     let (st, sk, snext, sp_, sslot) = (Reg(30), Reg(31), Reg(32), Reg(33), Reg(35));
     f.at(slice)
         .lib_ld(st, conv::SLOT, 0)
@@ -133,7 +109,11 @@ fn chain_gate_with_real_load() {
     let r = simulate(&prog, &cfg);
     println!(
         "halted={} spawned={} fired={} dropped={} spec_insts={} avg_child={:.1}",
-        r.halted, r.threads_spawned, r.spawns_fired, r.spawns_dropped, r.spec_insts,
+        r.halted,
+        r.threads_spawned,
+        r.spawns_fired,
+        r.spawns_dropped,
+        r.spec_insts,
         r.spec_insts as f64 / r.threads_spawned.max(1) as f64
     );
     assert!(r.halted);
@@ -166,13 +146,8 @@ fn chain_gate_with_stalling_main() {
     let slice = f.new_block();
     let spawn_blk = f.new_block();
     let work = f.new_block();
-    let (arc, k, t, u, v, sum, p) =
-        (Reg(64), Reg(65), Reg(66), Reg(67), Reg(68), Reg(69), Reg(70));
-    f.at(e)
-        .movi(arc, ARCS as i64)
-        .movi(k, ARCS as i64 + 64 * N)
-        .movi(sum, 0)
-        .br(body);
+    let (arc, k, t, u, v, sum, p) = (Reg(64), Reg(65), Reg(66), Reg(67), Reg(68), Reg(69), Reg(70));
+    f.at(e).movi(arc, ARCS as i64).movi(k, ARCS as i64 + 64 * N).movi(sum, 0).br(body);
     let rest = f.new_block();
     f.at(body).chk_c(stub).br(rest);
     f.at(rest)
@@ -185,12 +160,7 @@ fn chain_gate_with_stalling_main() {
         .br_cond(p, body, exit);
     f.at(exit).halt();
     let slot = Reg(20);
-    f.at(stub)
-        .lib_alloc(slot)
-        .lib_st(slot, 0, arc)
-        .lib_st(slot, 1, k)
-        .spawn(slice, slot)
-        .br(rest);
+    f.at(stub).lib_alloc(slot).lib_st(slot, 0, arc).lib_st(slot, 1, k).spawn(slice, slot).br(rest);
     let (st, sk, snext, sp_, su, sslot) = (Reg(30), Reg(31), Reg(32), Reg(33), Reg(34), Reg(35));
     f.at(slice)
         .lib_ld(st, conv::SLOT, 0)
@@ -216,8 +186,13 @@ fn chain_gate_with_stalling_main() {
     let r = simulate(&prog, &cfg);
     println!(
         "v3: halted={} cycles={} main={} spawned={} fired={} dropped={} avg_child={:.1}",
-        r.halted, r.total_cycles, r.main_insts, r.threads_spawned, r.spawns_fired,
-        r.spawns_dropped, r.spec_insts as f64 / r.threads_spawned.max(1) as f64
+        r.halted,
+        r.total_cycles,
+        r.main_insts,
+        r.threads_spawned,
+        r.spawns_fired,
+        r.spawns_dropped,
+        r.spec_insts as f64 / r.threads_spawned.max(1) as f64
     );
     assert!(r.halted, "livelock");
 }

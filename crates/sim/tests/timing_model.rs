@@ -34,13 +34,17 @@ fn independent_alu_ops_reach_issue_width() {
     // with the issue group ending at the taken branch: >= 3 cycles/iter,
     // and not much more.
     let cfg = MachineConfig::in_order();
-    let r = run_loop(2000, |c| {
-        let mut c = c;
-        for j in 0..10u16 {
-            c = c.movi(Reg(80 + j), j as i64);
-        }
-        c
-    }, &cfg);
+    let r = run_loop(
+        2000,
+        |c| {
+            let mut c = c;
+            for j in 0..10u16 {
+                c = c.movi(Reg(80 + j), j as i64);
+            }
+            c
+        },
+        &cfg,
+    );
     let cpi = cycles_per_iter(&r, 2000);
     assert!(cpi >= 2.9, "13 instructions cannot fit in 2 cycles: {cpi}");
     assert!(cpi <= 4.5, "issue width must be exploited: {cpi}");
@@ -50,13 +54,17 @@ fn independent_alu_ops_reach_issue_width() {
 fn dependent_chain_serializes_in_order() {
     // A 10-deep add chain: in-order pays the full dependence height.
     let cfg = MachineConfig::in_order();
-    let r = run_loop(2000, |c| {
-        let mut c = c.movi(Reg(80), 1);
-        for j in 1..10u16 {
-            c = c.add(Reg(80 + j), Reg(80 + j - 1), 1);
-        }
-        c
-    }, &cfg);
+    let r = run_loop(
+        2000,
+        |c| {
+            let mut c = c.movi(Reg(80), 1);
+            for j in 1..10u16 {
+                c = c.add(Reg(80 + j), Reg(80 + j - 1), 1);
+            }
+            c
+        },
+        &cfg,
+    );
     let cpi = cycles_per_iter(&r, 2000);
     assert!(cpi >= 9.5, "10-deep chain costs ~10 cycles: {cpi}");
 }
@@ -87,13 +95,17 @@ fn fp_units_limit_fp_throughput() {
     // 8 independent FP adds per iteration with 2 FP units: >= 4 cycles of
     // FP issue alone.
     let cfg = MachineConfig::in_order();
-    let r = run_loop(2000, |c| {
-        let mut c = c;
-        for j in 0..8u16 {
-            c = c.falu(ssp_ir::FAluKind::Add, Reg(80 + j), Reg(70), Reg(71));
-        }
-        c
-    }, &cfg);
+    let r = run_loop(
+        2000,
+        |c| {
+            let mut c = c;
+            for j in 0..8u16 {
+                c = c.falu(ssp_ir::FAluKind::Add, Reg(80 + j), Reg(70), Reg(71));
+            }
+            c
+        },
+        &cfg,
+    );
     let cpi = cycles_per_iter(&r, 2000);
     assert!(cpi >= 4.0, "8 FP ops / 2 units: {cpi}");
 }
@@ -145,10 +157,7 @@ fn mispredicted_branches_cost_the_penalty() {
         .cmp(CmpKind::Eq, p, b, 1)
         .br_cond(p, t_blk, j_blk);
     f.at(t_blk).movi(Reg(80), 1).br(j_blk);
-    f.at(j_blk)
-        .add(i, i, 1)
-        .cmp(CmpKind::Lt, p, i, 4000)
-        .br_cond(p, body, exit);
+    f.at(j_blk).add(i, i, 1).cmp(CmpKind::Lt, p, i, 4000).br_cond(p, body, exit);
     f.at(exit).halt();
     let main = f.finish();
     let prog = pb.finish_with(main);
@@ -162,10 +171,7 @@ fn mispredicted_branches_cost_the_penalty() {
     );
     let cpi_pred = cycles_per_iter(&predictable, 4000);
     let cpi_rand = cycles_per_iter(&random, 4000);
-    assert!(
-        cpi_rand > cpi_pred + 2.0,
-        "mispredictions must cost cycles: {cpi_pred} vs {cpi_rand}"
-    );
+    assert!(cpi_rand > cpi_pred + 2.0, "mispredictions must cost cycles: {cpi_pred} vs {cpi_rand}");
 }
 
 #[test]

@@ -71,10 +71,11 @@ mod tests {
         let body = f.new_block();
         let exit = f.new_block();
         f.at(e).movi(Reg(1), 0).br(body);
-        f.at(body)
-            .add(Reg(1), Reg(1), 1)
-            .cmp(CmpKind::Lt, Reg(2), Reg(1), 5)
-            .br_cond(Reg(2), body, exit);
+        f.at(body).add(Reg(1), Reg(1), 1).cmp(CmpKind::Lt, Reg(2), Reg(1), 5).br_cond(
+            Reg(2),
+            body,
+            exit,
+        );
         f.at(exit).halt();
         let main = f.finish();
         let prog = pb.finish_with(main);

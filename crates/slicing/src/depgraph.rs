@@ -76,12 +76,7 @@ pub fn latency_of(op: &Op, tag: ssp_ir::InstTag, profile: &Profile, mc: &Machine
 /// instructions cost their profiled per-invocation dynamic instruction
 /// count (a cheap proxy for cycles) — region heights through calls would
 /// otherwise pretend callees are free.
-pub fn latency_of_at(
-    prog: &Program,
-    at: InstRef,
-    profile: &Profile,
-    mc: &MachineConfig,
-) -> u64 {
+pub fn latency_of_at(prog: &Program, at: InstRef, profile: &Profile, mc: &MachineConfig) -> u64 {
     let inst = prog.inst(at);
     if inst.op.is_call() {
         return profile.avg_call_cost(at).map_or(mc.int_latency, |c| (c as u64).clamp(1, 100_000));
@@ -145,18 +140,13 @@ impl RegionDepGraph {
                     continue;
                 }
                 work.extend(
-                    fa.cfg
-                        .succs(b)
-                        .iter()
-                        .copied()
-                        .filter(|x| in_region.contains(x) && *x != hdr),
+                    fa.cfg.succs(b).iter().copied().filter(|x| in_region.contains(x) && *x != hdr),
                 );
             }
             false
         };
         let inner_of = |carried: bool, from: BlockId, to: BlockId| -> bool {
-            carried
-                && header.is_some_and(|h| reaches_without_header(from, to, h))
+            carried && header.is_some_and(|h| reaches_without_header(from, to, h))
         };
         // Nodes in program order: region blocks sorted by RPO position.
         let mut ordered: Vec<BlockId> = blocks.to_vec();
@@ -218,8 +208,8 @@ impl RegionDepGraph {
                     continue;
                 }
                 let Some(&pi) = index.get(&cat) else { continue };
-                let carried = rpo_pos(cb) > rpo_pos(at.block)
-                    || (cb == at.block && term_idx >= at.idx);
+                let carried =
+                    rpo_pos(cb) > rpo_pos(at.block) || (cb == at.block && term_idx >= at.idx);
                 edges.push(DepEdge {
                     from: pi,
                     to: ni,
@@ -325,8 +315,7 @@ impl RegionDepGraph {
     /// 1.0 mean the code is one long dependence chain — the regime where
     /// height-based list scheduling is near optimal.
     pub fn available_ilp(&self, profile: &Profile, prog: &Program, mc: &MachineConfig) -> f64 {
-        let total: u64 =
-            self.nodes.iter().map(|&at| latency_of_at(prog, at, profile, mc)).sum();
+        let total: u64 = self.nodes.iter().map(|&at| latency_of_at(prog, at, profile, mc)).sum();
         let cp = self.critical_path(profile, prog, mc);
         if cp == 0 {
             1.0
@@ -418,9 +407,7 @@ mod tests {
         let at = |idx: usize| InstRef { func: prog.entry, block: body, idx };
         let n = |idx: usize| g.node_of(at(idx)).unwrap();
         let has = |from: usize, to: usize, carried: bool| {
-            g.edges
-                .iter()
-                .any(|e| e.from == n(from) && e.to == n(to) && e.carried == carried)
+            g.edges.iter().any(|e| e.from == n(from) && e.to == n(to) && e.carried == carried)
         };
         // A -> B (t), intra.
         assert!(has(0, 1, false));
@@ -490,7 +477,12 @@ mod tests {
         let mut profile = Profile::default();
         profile.loads.insert(
             tag,
-            ssp_sim::LoadProfile { accesses: 10, misses: 10, miss_cycles: 2300, ..Default::default() },
+            ssp_sim::LoadProfile {
+                accesses: 10,
+                misses: 10,
+                miss_cycles: 2300,
+                ..Default::default()
+            },
         );
         let mc = MachineConfig::in_order();
         let lat = latency_of(&prog.inst(at).op, tag, &profile, &mc);

@@ -254,7 +254,8 @@ impl<'p> Slicer<'p> {
             if !region.contains(&cb) {
                 continue;
             }
-            if self.opts.speculative && self.profile.block_count(fid, cb) < self.opts.min_block_count
+            if self.opts.speculative
+                && self.profile.block_count(fid, cb) < self.opts.min_block_count
             {
                 slice.pruned += 1;
                 continue;

@@ -44,13 +44,7 @@ impl Summaries {
 
     /// The summary for "value of `reg` at returns of `f`", computing (and
     /// fixing) it as needed.
-    pub fn get(
-        &mut self,
-        prog: &Program,
-        analyses: &mut Analyses,
-        f: FuncId,
-        reg: Reg,
-    ) -> Summary {
+    pub fn get(&mut self, prog: &Program, analyses: &mut Analyses, f: FuncId, reg: Reg) -> Summary {
         // Iterate to a fixed point: recursive references see the previous
         // approximation; repeat until nothing changes.
         loop {
@@ -64,13 +58,7 @@ impl Summaries {
         }
     }
 
-    fn compute(
-        &mut self,
-        prog: &Program,
-        analyses: &mut Analyses,
-        f: FuncId,
-        reg: Reg,
-    ) -> Summary {
+    fn compute(&mut self, prog: &Program, analyses: &mut Analyses, f: FuncId, reg: Reg) -> Summary {
         if !self.in_progress.insert((f, reg)) {
             // Recurrence: use the current approximation (possibly empty).
             return self.cache.get(&(f, reg)).cloned().unwrap_or_default();
@@ -194,10 +182,7 @@ mod tests {
         let p = Reg(20);
         f.at(e2).cmp(CmpKind::Lt, p, conv::arg(0), 2).br_cond(p, base, rec);
         f.at(base).mov(conv::RV, conv::arg(0)).ret();
-        f.at(rec)
-            .ld(conv::arg(0), conv::arg(0), 0)
-            .call(f_id, 1)
-            .ret();
+        f.at(rec).ld(conv::arg(0), conv::arg(0), 0).call(f_id, 1).ret();
         let f = f.finish();
         pb.install(m);
         pb.install(f);
@@ -227,10 +212,7 @@ mod tests {
         let m = m.finish();
         let mut f = pb.define(f_id, "dispatch");
         let e2 = f.entry_block();
-        f.at(e2)
-            .movi(Reg(20), t_id.as_value() as i64)
-            .call_ind(Reg(20), 0)
-            .ret();
+        f.at(e2).movi(Reg(20), t_id.as_value() as i64).call_ind(Reg(20), 0).ret();
         let f = f.finish();
         let mut t = pb.define(t_id, "target");
         let e3 = t.entry_block();

@@ -97,7 +97,6 @@ impl FlowNet {
         iter.insert(v, edges_here.len());
         0
     }
-
 }
 
 /// Result of the min-cut formulation: CFG edges to place triggers on and

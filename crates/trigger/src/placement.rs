@@ -132,9 +132,9 @@ pub fn place_trigger(
             }
             // Never hoist above a live-in producer.
             let producers_ok = slice.live_ins.iter().all(|&r| {
-                defs_reaching_root(fa, load, r)
-                    .iter()
-                    .all(|d| d.block != up && fa.dom.dominates(d.block, up) || d.block == load.block)
+                defs_reaching_root(fa, load, r).iter().all(|d| {
+                    d.block != up && fa.dom.dominates(d.block, up) || d.block == load.block
+                })
             });
             if !producers_ok {
                 break;

@@ -6,7 +6,6 @@
 
 use crate::layout::{rng_for, Scatter, GLOBALS, HEAP};
 use crate::Workload;
-use rand::Rng;
 use ssp_ir::{CmpKind, Operand, ProgramBuilder, Reg};
 
 /// Dependencies per node.
@@ -54,28 +53,11 @@ pub fn build(seed: u64) -> Workload {
     let iter_end = f.new_block();
     let exit = f.new_block();
 
-    let (root, it, node, val, j, dep, dv, cf, t, p) = (
-        Reg(64),
-        Reg(65),
-        Reg(66),
-        Reg(67),
-        Reg(68),
-        Reg(69),
-        Reg(70),
-        Reg(71),
-        Reg(72),
-        Reg(73),
-    );
-    f.at(e)
-        .movi(Reg(80), GLOBALS as i64)
-        .ld(root, Reg(80), 0)
-        .movi(it, 0)
-        .br(outer);
+    let (root, it, node, val, j, dep, dv, cf, t, p) =
+        (Reg(64), Reg(65), Reg(66), Reg(67), Reg(68), Reg(69), Reg(70), Reg(71), Reg(72), Reg(73));
+    f.at(e).movi(Reg(80), GLOBALS as i64).ld(root, Reg(80), 0).movi(it, 0).br(outer);
     f.at(outer).mov(node, root).br(nloop);
-    f.at(nloop)
-        .ld(val, node, 8)
-        .movi(j, 0)
-        .br(jloop);
+    f.at(nloop).ld(val, node, 8).movi(j, 0).br(jloop);
     f.at(jloop)
         .shl(t, j, 3)
         .add(t, t, Operand::Reg(node))
@@ -92,10 +74,7 @@ pub fn build(seed: u64) -> Workload {
         .ld(node, node, 0) // delinquent: list chase
         .cmp(CmpKind::Ne, p, node, 0)
         .br_cond(p, nloop, iter_end);
-    f.at(iter_end)
-        .add(it, it, 1)
-        .cmp(CmpKind::SLt, p, it, iters)
-        .br_cond(p, outer, exit);
+    f.at(iter_end).add(it, it, 1).cmp(CmpKind::SLt, p, it, iters).br_cond(p, outer, exit);
     f.at(exit).halt();
 
     let main = f.finish();

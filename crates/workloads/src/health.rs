@@ -9,7 +9,6 @@
 
 use crate::layout::{rng_for, Scatter, ARRAYS, GLOBALS, HEAP};
 use crate::Workload;
-use rand::Rng;
 use ssp_ir::reg::conv;
 use ssp_ir::{CmpKind, Operand, ProgramBuilder, Reg};
 
@@ -39,7 +38,7 @@ pub fn build(seed: u64) -> Workload {
             pb.data_word(v + 8 * c as u64, addr);
         }
         pb.data_word(v + 40, (i as u64) % 5); // level field
-        // Patient list.
+                                              // Patient list.
         let mut head = 0u64;
         for _ in 0..patients_per {
             let pa = ps.alloc();
@@ -68,18 +67,8 @@ pub fn build(seed: u64) -> Workload {
     let step_end = m.new_block();
     let exit = m.new_block();
 
-    let (root, step, headp, tailp, v, c, caddr, p, lvl, stat) = (
-        Reg(64),
-        Reg(65),
-        Reg(66),
-        Reg(67),
-        Reg(68),
-        Reg(69),
-        Reg(70),
-        Reg(71),
-        Reg(72),
-        Reg(73),
-    );
+    let (root, step, headp, tailp, v, c, caddr, p, lvl, stat) =
+        (Reg(64), Reg(65), Reg(66), Reg(67), Reg(68), Reg(69), Reg(70), Reg(71), Reg(72), Reg(73));
     m.at(e)
         .movi(Reg(80), GLOBALS as i64)
         .ld(root, Reg(80), 0)
@@ -92,9 +81,7 @@ pub fn build(seed: u64) -> Workload {
         .st(root, tailp, 0)
         .add(tailp, tailp, 8)
         .br(wloop);
-    m.at(wloop)
-        .cmp(CmpKind::Eq, p, headp, Operand::Reg(tailp))
-        .br_cond(p, step_end, child_l);
+    m.at(wloop).cmp(CmpKind::Eq, p, headp, Operand::Reg(tailp)).br_cond(p, step_end, child_l);
     m.at(child_l)
         .ld(v, headp, 0) // worklist slot (sequential)
         .add(headp, headp, 8)
@@ -117,10 +104,7 @@ pub fn build(seed: u64) -> Workload {
         .cmp(CmpKind::Lt, p, c, FANOUT as i64)
         .br_cond(p, child_push, wnext);
     m.at(wnext).br(wloop);
-    m.at(step_end)
-        .add(step, step, 1)
-        .cmp(CmpKind::SLt, p, step, steps)
-        .br_cond(p, step_b, exit);
+    m.at(step_end).add(step, step, 1).cmp(CmpKind::SLt, p, step, steps).br_cond(p, step_b, exit);
     m.at(exit).movi(Reg(80), GLOBALS as i64).st(stat, Reg(80), 8).halt();
     let m = m.finish();
 

@@ -5,9 +5,7 @@
 //! stride pattern, and (b) working sets exceed the 3 MB L3 — the
 //! properties that make the original Olden/SPEC programs miss-bound.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use crate::rng::Rng;
 
 /// Base of the globals area (roots, counts).
 pub const GLOBALS: u64 = 0x0001_0000;
@@ -31,12 +29,12 @@ impl Scatter {
     ///
     /// Panics if the span cannot hold `count` slots or `slot_size` is not
     /// a multiple of 8.
-    pub fn new(base: u64, span: u64, slot_size: u64, count: usize, rng: &mut StdRng) -> Self {
+    pub fn new(base: u64, span: u64, slot_size: u64, count: usize, rng: &mut Rng) -> Self {
         assert_eq!(slot_size % 8, 0, "slot size must be word aligned");
         let capacity = (span / slot_size) as usize;
         assert!(capacity >= count, "span too small: {capacity} slots < {count}");
         let mut idx: Vec<usize> = (0..capacity).collect();
-        idx.shuffle(rng);
+        rng.shuffle(&mut idx);
         let slots = idx.into_iter().take(count).map(|i| base + i as u64 * slot_size).collect();
         Scatter { slots, next: 0 }
     }
@@ -59,12 +57,12 @@ impl Scatter {
 }
 
 /// A deterministic RNG for workload `name` and `seed`.
-pub fn rng_for(name: &str, seed: u64) -> StdRng {
+pub fn rng_for(name: &str, seed: u64) -> Rng {
     let mut h = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     for b in name.bytes() {
         h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
     }
-    StdRng::seed_from_u64(h)
+    Rng::seed_from_u64(h)
 }
 
 #[cfg(test)]

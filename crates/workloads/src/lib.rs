@@ -29,6 +29,7 @@ pub mod health;
 pub mod layout;
 pub mod mcf;
 pub mod mst;
+pub mod rng;
 pub mod treeadd;
 pub mod vpr;
 
@@ -78,10 +79,7 @@ mod tests {
     fn suite_has_paper_order_and_verifies() {
         let s = suite(1);
         let names: Vec<&str> = s.iter().map(|w| w.name).collect();
-        assert_eq!(
-            names,
-            vec!["em3d", "health", "mst", "treeadd.df", "treeadd.bf", "mcf", "vpr"]
-        );
+        assert_eq!(names, vec!["em3d", "health", "mst", "treeadd.df", "treeadd.bf", "mcf", "vpr"]);
         for w in &s {
             ssp_ir::verify::verify(&w.program)
                 .unwrap_or_else(|e| panic!("{} fails verification: {e}", w.name));

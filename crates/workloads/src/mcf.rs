@@ -8,7 +8,6 @@
 
 use crate::layout::{rng_for, Scatter, ARRAYS, GLOBALS, HEAP};
 use crate::Workload;
-use rand::Rng;
 use ssp_ir::{CmpKind, Operand, ProgramBuilder, Reg};
 
 /// Arc record size (one cache line, like mcf's 64-byte arc struct).
@@ -75,15 +74,8 @@ pub fn build(seed: u64) -> Workload {
         .add(arc, arc, ARC_SIZE as i64)
         .cmp(CmpKind::Lt, p, arc, Operand::Reg(k))
         .br_cond(p, body, pass_end);
-    f.at(pass_end)
-        .add(pass, pass, 1)
-        .cmp(CmpKind::SLt, p, pass, passes)
-        .br_cond(p, outer, exit);
-    f.at(exit)
-        .movi(Reg(80), GLOBALS as i64)
-        .st(best, Reg(80), 0)
-        .st(barc, Reg(80), 8)
-        .halt();
+    f.at(pass_end).add(pass, pass, 1).cmp(CmpKind::SLt, p, pass, passes).br_cond(p, outer, exit);
+    f.at(exit).movi(Reg(80), GLOBALS as i64).st(best, Reg(80), 0).st(barc, Reg(80), 8).halt();
 
     let main = f.finish();
     Workload { name: "mcf", program: pb.finish_with(main) }

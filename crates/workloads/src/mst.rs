@@ -5,7 +5,6 @@
 
 use crate::layout::{rng_for, Scatter, ARRAYS, GLOBALS, HEAP};
 use crate::Workload;
-use rand::Rng;
 use ssp_ir::reg::conv;
 use ssp_ir::{AluKind, CmpKind, Operand, ProgramBuilder, Reg};
 
@@ -57,18 +56,8 @@ pub fn build(seed: u64) -> Workload {
     let next_l = f.new_block();
     let exit = f.new_block();
 
-    let (kp, kend, heads_r, key, b, entry, k2, w, sum, p) = (
-        Reg(64),
-        Reg(65),
-        Reg(66),
-        Reg(67),
-        Reg(68),
-        Reg(69),
-        Reg(70),
-        Reg(71),
-        Reg(72),
-        Reg(73),
-    );
+    let (kp, kend, heads_r, key, b, entry, k2, w, sum, p) =
+        (Reg(64), Reg(65), Reg(66), Reg(67), Reg(68), Reg(69), Reg(70), Reg(71), Reg(72), Reg(73));
     f.at(e)
         .movi(kp, ARRAYS as i64)
         .movi(kend, (ARRAYS + lookups * 8) as i64)
@@ -87,9 +76,7 @@ pub fn build(seed: u64) -> Workload {
         .mov(b, conv::RV)
         .ld(entry, b, 0) // bucket head (32 KB array)
         .br(chain);
-    f.at(chain)
-        .cmp(CmpKind::Eq, p, entry, 0)
-        .br_cond(p, miss, step);
+    f.at(chain).cmp(CmpKind::Eq, p, entry, 0).br_cond(p, miss, step);
     let advance = f.new_block();
     f.at(step)
         .ld(k2, entry, 8) // delinquent: entry key
@@ -97,15 +84,9 @@ pub fn build(seed: u64) -> Workload {
         .br_cond(p, found, advance);
     // Chain advance: entry = entry->next.
     f.at(advance).ld(entry, entry, 0).br(chain);
-    f.at(found)
-        .ld(w, entry, 16)
-        .add(sum, sum, Operand::Reg(w))
-        .br(next_l);
+    f.at(found).ld(w, entry, 16).add(sum, sum, Operand::Reg(w)).br(next_l);
     f.at(miss).br(next_l);
-    f.at(next_l)
-        .add(kp, kp, 8)
-        .cmp(CmpKind::Lt, p, kp, Operand::Reg(kend))
-        .br_cond(p, lloop, exit);
+    f.at(next_l).add(kp, kp, 8).cmp(CmpKind::Lt, p, kp, Operand::Reg(kend)).br_cond(p, lloop, exit);
     f.at(exit).movi(Reg(80), GLOBALS as i64).st(sum, Reg(80), 8).halt();
     let main = f.finish();
 

@@ -60,9 +60,7 @@ pub fn build_df(seed: u64) -> Workload {
     let zero = s.new_block();
     let rec = s.new_block();
     let (n, acc, p) = (Reg(64), Reg(65), Reg(20));
-    s.at(e)
-        .cmp(CmpKind::Eq, p, conv::arg(0), 0)
-        .br_cond(p, zero, rec);
+    s.at(e).cmp(CmpKind::Eq, p, conv::arg(0), 0).br_cond(p, zero, rec);
     s.at(zero).movi(conv::RV, 0).ret();
     s.at(rec)
         // prologue: save n, acc
@@ -115,9 +113,7 @@ pub fn build_bf(seed: u64) -> Workload {
         .add(tailp, tailp, 8)
         .movi(sum, 0)
         .br(loop_b);
-    f.at(loop_b)
-        .cmp(CmpKind::Eq, p, headp, Operand::Reg(tailp))
-        .br_cond(p, exit, pushl);
+    f.at(loop_b).cmp(CmpKind::Eq, p, headp, Operand::Reg(tailp)).br_cond(p, exit, pushl);
     // Process the head node.
     f.at(pushl)
         .ld(node, headp, 0) // queue slot (sequential)
@@ -155,11 +151,7 @@ mod tests {
         let rbf = simulate(&bf.program, &MachineConfig::in_order());
         assert!(rdf.halted && rbf.halted);
         // Every node's value load runs exactly once in each variant.
-        let df_val_loads: u64 = rdf
-            .loads
-            .values()
-            .map(|s| s.accesses)
-            .sum();
+        let df_val_loads: u64 = rdf.loads.values().map(|s| s.accesses).sum();
         assert!(df_val_loads >= count * 3, "left+right+value per node");
         let bf_val_loads: u64 = rbf.loads.values().map(|s| s.accesses).sum();
         assert!(bf_val_loads >= count * 3);
@@ -170,12 +162,7 @@ mod tests {
         for w in [build_df(1), build_bf(1)] {
             let r = simulate(&w.program, &MachineConfig::in_order());
             let agg = r.load_stats_all();
-            assert!(
-                agg.l1_miss_rate() > 0.2,
-                "{} miss rate {}",
-                w.name,
-                agg.l1_miss_rate()
-            );
+            assert!(agg.l1_miss_rate() > 0.2, "{} miss rate {}", w.name, agg.l1_miss_rate());
             assert!(r.halted);
         }
     }

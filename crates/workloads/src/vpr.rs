@@ -5,7 +5,6 @@
 
 use crate::layout::{rng_for, Scatter, ARRAYS, GLOBALS, HEAP};
 use crate::Workload;
-use rand::Rng;
 use ssp_ir::{CmpKind, Operand, ProgramBuilder, Reg};
 
 /// Pins per net.
@@ -61,11 +60,7 @@ pub fn build(seed: u64) -> Workload {
         Reg(73),
         Reg(74),
     );
-    f.at(e)
-        .movi(mp, ARRAYS as i64)
-        .movi(mend, (ARRAYS + moves * 8) as i64)
-        .movi(cost, 0)
-        .br(mloop);
+    f.at(e).movi(mp, ARRAYS as i64).movi(mend, (ARRAYS + moves * 8) as i64).movi(cost, 0).br(mloop);
     f.at(mloop)
         .ld(blk, mp, 0) // move target block (sequential array)
         .ld(net, blk, 0) // delinquent: block -> net
@@ -82,10 +77,7 @@ pub fn build(seed: u64) -> Workload {
         .add(k, k, 1)
         .cmp(CmpKind::Lt, p, k, PINS as i64)
         .br_cond(p, ploop, mnext);
-    f.at(mnext)
-        .add(mp, mp, 8)
-        .cmp(CmpKind::Lt, p, mp, Operand::Reg(mend))
-        .br_cond(p, mloop, exit);
+    f.at(mnext).add(mp, mp, 8).cmp(CmpKind::Lt, p, mp, Operand::Reg(mend)).br_cond(p, mloop, exit);
     f.at(exit).movi(Reg(80), GLOBALS as i64).st(cost, Reg(80), 0).halt();
 
     let main = f.finish();

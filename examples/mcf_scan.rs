@@ -17,8 +17,10 @@ fn main() {
     let adapted = tool.run(&w.program);
     let c = adapted.characteristics(w.name);
     println!("== {} ==", c.name);
-    println!("slices {} (interprocedural {}), avg size {:.1}, avg live-ins {:.1}",
-        c.slices, c.interprocedural, c.average_size, c.average_live_ins);
+    println!(
+        "slices {} (interprocedural {}), avg size {:.1}, avg live-ins {:.1}",
+        c.slices, c.interprocedural, c.average_size, c.average_live_ins
+    );
 
     for (label, machine) in [("in-order", &io), ("out-of-order", &ooo)] {
         let base = simulate(&w.program, machine);

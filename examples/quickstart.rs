@@ -21,13 +21,8 @@ fn main() {
     }
     let mut f = pb.function("main");
     let (e, body, exit) = (f.entry_block(), f.new_block(), f.new_block());
-    let (arc, k, t, u, v, sum, p) =
-        (Reg(64), Reg(65), Reg(66), Reg(67), Reg(68), Reg(69), Reg(70));
-    f.at(e)
-        .movi(arc, arcs as i64)
-        .movi(k, (arcs + 64 * n) as i64)
-        .movi(sum, 0)
-        .br(body);
+    let (arc, k, t, u, v, sum, p) = (Reg(64), Reg(65), Reg(66), Reg(67), Reg(68), Reg(69), Reg(70));
+    f.at(e).movi(arc, arcs as i64).movi(k, (arcs + 64 * n) as i64).movi(sum, 0).br(body);
     f.at(body)
         .mov(t, arc)
         .ld(u, t, 0) // u = arc->tail
@@ -59,8 +54,5 @@ fn main() {
     println!("baseline cycles        : {}", base.cycles);
     println!("SSP-enhanced cycles    : {}", ssp.cycles);
     println!("speculative threads    : {}", ssp.threads_spawned);
-    println!(
-        "speedup                : {:.2}x",
-        base.cycles as f64 / ssp.cycles as f64
-    );
+    println!("speedup                : {:.2}x", base.cycles as f64 / ssp.cycles as f64);
 }

@@ -6,9 +6,7 @@
 //! cargo run --release --example tune_tool
 //! ```
 
-use ssp_core::{
-    simulate, AdaptOptions, MachineConfig, PostPassTool, ScheduleOptions, SpModel,
-};
+use ssp_core::{simulate, AdaptOptions, MachineConfig, PostPassTool, ScheduleOptions, SpModel};
 
 fn run_with(w: &ssp_workloads::Workload, machine: &MachineConfig, opts: AdaptOptions) -> f64 {
     let tool = PostPassTool::new(machine.clone()).with_options(opts);
@@ -44,9 +42,6 @@ fn main() {
     for budget in [4, 16, 64, 512] {
         let mut b = default.clone();
         b.emit.chain_budget = budget;
-        println!(
-            "  chain budget {budget:>4}         : {:.2}x",
-            run_with(&w, &machine, b)
-        );
+        println!("  chain budget {budget:>4}         : {:.2}x", run_with(&w, &machine, b));
     }
 }

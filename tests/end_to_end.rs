@@ -11,13 +11,11 @@ fn every_benchmark_adapts_and_verifies() {
     let tool = PostPassTool::new(MachineConfig::in_order());
     for w in ssp_workloads::suite(SEED) {
         let adapted = tool.run(&w.program);
-        ssp_ir::verify::verify(&adapted.program)
-            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        ssp_ir::verify::verify(&adapted.program).unwrap_or_else(|e| panic!("{}: {e}", w.name));
         ssp_ir::verify::verify_speculative(&adapted.program)
             .unwrap_or_else(|e| panic!("{}: {e}", w.name));
         // Original tags survive adaptation (profiles stay valid).
-        let orig: std::collections::HashSet<_> =
-            w.program.tag_index().keys().copied().collect();
+        let orig: std::collections::HashSet<_> = w.program.tag_index().keys().copied().collect();
         let new: std::collections::HashSet<_> =
             adapted.program.tag_index().keys().copied().collect();
         assert!(orig.is_subset(&new), "{}: tags preserved", w.name);
@@ -127,11 +125,8 @@ fn delinquent_loads_cover_most_miss_cycles() {
             w.name,
             delinquent.len()
         );
-        let covered: u64 = delinquent
-            .iter()
-            .filter_map(|t| profile.loads.get(t))
-            .map(|l| l.miss_cycles)
-            .sum();
+        let covered: u64 =
+            delinquent.iter().filter_map(|t| profile.loads.get(t)).map(|l| l.miss_cycles).sum();
         let total: u64 = profile.loads.values().map(|l| l.miss_cycles).sum();
         assert!(covered * 10 >= total * 9, "{}: >=90% coverage", w.name);
     }

@@ -19,13 +19,8 @@ fn chase(n: u64, stride: u64, mult: u64, extra_alu: usize) -> Program {
     }
     let mut f = pb.function("main");
     let (e, body, exit) = (f.entry_block(), f.new_block(), f.new_block());
-    let (arc, k, t, u, v, sum, p) =
-        (Reg(64), Reg(65), Reg(66), Reg(67), Reg(68), Reg(69), Reg(70));
-    f.at(e)
-        .movi(arc, arcs as i64)
-        .movi(k, (arcs + stride * n) as i64)
-        .movi(sum, 0)
-        .br(body);
+    let (arc, k, t, u, v, sum, p) = (Reg(64), Reg(65), Reg(66), Reg(67), Reg(68), Reg(69), Reg(70));
+    f.at(e).movi(arc, arcs as i64).movi(k, (arcs + stride * n) as i64).movi(sum, 0).br(body);
     let mut c = f.at(body).mov(t, arc).ld(u, t, 0).ld(v, u, 0);
     for j in 0..extra_alu {
         c = c.add(Reg(80 + j as u16), v, Operand::Imm(j as i64));
