@@ -1,0 +1,26 @@
+//! `trace_report`: structured traces for the whole suite.
+//!
+//! For every workload: tool-phase spans (wall time + counters for
+//! profile / slicing / sched / trigger / codegen) and, per machine
+//! model, simulator telemetry with the early/timely/late/useless
+//! timeliness split of every SSP prefetch.
+//!
+//! Output:
+//!   - stdout: one `ssp-trace-report/1` JSON object (schema documented
+//!     in `ssp_bench::trace`). Deterministic and byte-identical across
+//!     `SSP_THREADS` settings; set `SSP_TRACE_WALL=1` to include real
+//!     `wall_nanos` values (no longer reproducible).
+//!   - stderr: a human summary table per workload/model, with real
+//!     tool-phase wall times.
+//!
+//! Run with `cargo run --release -p ssp-bench --bin trace_report`.
+
+use ssp_bench::trace::{render_json, render_summary, trace_rows};
+use ssp_bench::SEED;
+
+fn main() {
+    let rows = trace_rows(&ssp_workloads::suite(SEED));
+    let include_wall = std::env::var("SSP_TRACE_WALL").is_ok_and(|v| v == "1");
+    print!("{}", render_json(&rows, SEED, include_wall));
+    eprint!("{}", render_summary(&rows));
+}

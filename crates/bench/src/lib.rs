@@ -22,6 +22,7 @@
 
 pub mod hand;
 pub mod parallel;
+pub mod trace;
 
 use ssp_core::{
     simulate, AdaptOptions, AdaptReport, MachineConfig, MemoryMode, PostPassTool, SimResult,

@@ -6,6 +6,7 @@
 //! Machine configs are cycle-capped because tier-1 runs this in a debug
 //! build; determinism does not depend on the cap.
 
+use ssp_bench::trace::{render_json, trace_rows_configured};
 use ssp_bench::{run_suite_configured, BenchmarkRun, SEED};
 use ssp_core::{AdaptOptions, MachineConfig};
 
@@ -49,4 +50,21 @@ fn parallel_sweep_matches_serial_and_repeats_exactly() {
 
     assert_runs_identical(&serial, &parallel_a, "serial vs parallel");
     assert_runs_identical(&parallel_a, &parallel_b, "parallel vs parallel");
+}
+
+#[test]
+fn trace_report_json_is_byte_identical_across_worker_counts() {
+    let ws = ssp_workloads::suite(SEED);
+    let opts = AdaptOptions::default();
+    let io = capped(MachineConfig::in_order());
+    let ooo = capped(MachineConfig::out_of_order());
+
+    let serial = render_json(&trace_rows_configured(&ws, &opts, &io, &ooo, 1), SEED, false);
+    let parallel_a = render_json(&trace_rows_configured(&ws, &opts, &io, &ooo, 4), SEED, false);
+    let parallel_b = render_json(&trace_rows_configured(&ws, &opts, &io, &ooo, 4), SEED, false);
+
+    assert_eq!(serial, parallel_a, "serial vs parallel trace_report JSON");
+    assert_eq!(parallel_a, parallel_b, "parallel vs parallel trace_report JSON");
+    // The deterministic rendering really did suppress wall times.
+    assert!(serial.contains("\"wall_times\": false"));
 }

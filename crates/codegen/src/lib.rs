@@ -11,11 +11,12 @@ pub mod emit;
 pub mod select;
 
 pub use emit::{EmitOptions, EmittedSlice, PendingStub, SkipReason};
-pub use select::{plan_for_load, SelectOptions, SlicePlan};
+pub use select::{plan_for_load, plan_for_load_traced, SelectOptions, SlicePlan};
 
 use ssp_ir::{InstTag, Program};
 use ssp_sim::{MachineConfig, Profile};
 use ssp_slicing::{SliceOptions, Slicer};
+use ssp_trace::{Stopwatch, ToolTrace};
 use ssp_trigger::TriggerPoint;
 
 /// Options for the whole adaptation.
@@ -97,17 +98,48 @@ pub fn adapt(
     mc: &MachineConfig,
     opts: &AdaptOptions,
 ) -> (Program, AdaptReport) {
+    adapt_traced(prog, profile, mc, opts, None)
+}
+
+/// [`adapt`] with optional tracing: when `trace` is set, the `slicing`,
+/// `sched`, `trigger`, and `codegen` phase spans accrue wall time and
+/// counters (slice sizes, SCC counts, triggers placed, live-ins per
+/// trigger, instructions added). With `trace == None` the behaviour and
+/// cost are exactly those of [`adapt`].
+///
+/// # Panics
+///
+/// Panics if the emitted binary fails verification, like [`adapt`].
+pub fn adapt_traced(
+    prog: &Program,
+    profile: &Profile,
+    mc: &MachineConfig,
+    opts: &AdaptOptions,
+    mut trace: Option<&mut ToolTrace>,
+) -> (Program, AdaptReport) {
     let mut report = AdaptReport {
         delinquent: profile.delinquent_loads(opts.coverage),
         ..AdaptReport::default()
     };
+    if let Some(t) = trace.as_deref_mut() {
+        t.add("profile", "delinquent_loads", report.delinquent.len() as u64);
+    }
     let index = prog.tag_index();
 
     let mut slicer = Slicer::new(prog, profile, opts.slice.clone());
     let mut plans = Vec::new();
     for &tag in &report.delinquent {
         let Some(&root) = index.get(&tag) else { continue };
-        match select::plan_for_load(&mut slicer, prog, profile, mc, root, &opts.select) {
+        let plan = select::plan_for_load_traced(
+            &mut slicer,
+            prog,
+            profile,
+            mc,
+            root,
+            &opts.select,
+            trace.as_deref_mut(),
+        );
+        match plan {
             Some(plan) => plans.push(plan),
             None => report.skipped.push((tag, SkipReason::EmptySlice)),
         }
@@ -155,12 +187,19 @@ pub fn adapt(
             ssp_sched::SpModel::Chaining => ssp_trigger::TriggerStyle::PerIteration,
             ssp_sched::SpModel::Basic => ssp_trigger::TriggerStyle::PerRegionEntry,
         };
+        let sw = trace.is_some().then(Stopwatch::start);
         let fa = slicer.analyses.get(prog, plan.func);
         let tp = ssp_trigger::place_trigger(prog, fa, profile, &plan.slice, style);
+        if let Some(t) = trace.as_deref_mut() {
+            t.add_wall("trigger", sw.map_or(0, |s| s.elapsed_nanos()));
+            t.add("trigger", "triggers_placed", 1);
+            t.add("trigger", "trigger_live_ins", plan.slice.live_in_count() as u64);
+        }
         placed.push((plan, tp));
     }
 
     // Phase 1: append slice + stub blocks. Phase 2: insert triggers.
+    let sw = trace.is_some().then(Stopwatch::start);
     let mut out = prog.clone();
     let mut work = Vec::new();
     for (plan, tp) in placed {
@@ -187,6 +226,12 @@ pub fn adapt(
     emit::insert_triggers(&mut out, work);
 
     emit::verify_emitted(&out).expect("adapted binary must verify");
+    if let Some(t) = trace {
+        t.add_wall("codegen", sw.map_or(0, |s| s.elapsed_nanos()));
+        t.add("codegen", "slices_emitted", report.slices.len() as u64);
+        t.add("codegen", "slices_skipped", report.skipped.len() as u64);
+        t.add("codegen", "insts_added", (out.inst_count() - prog.inst_count()) as u64);
+    }
     (out, report)
 }
 

@@ -16,6 +16,7 @@ use ssp_sched::{
 };
 use ssp_sim::{MachineConfig, Profile};
 use ssp_slicing::{RegionDepGraph, Slice, Slicer};
+use ssp_trace::{Stopwatch, ToolTrace};
 
 /// Options controlling selection.
 #[derive(Clone, Debug)]
@@ -100,6 +101,23 @@ pub fn plan_for_load(
     root: InstRef,
     opts: &SelectOptions,
 ) -> Option<SlicePlan> {
+    plan_for_load_traced(slicer, prog, profile, mc, root, opts, None)
+}
+
+/// [`plan_for_load`] with optional tracing: when `trace` is set, the
+/// `slicing` span accrues wall time plus slice-size/live-in counters and
+/// the `sched` span accrues wall time plus schedule/SCC counters for
+/// every candidate region examined. With `trace == None` no clock is
+/// read and no SCC partition is computed.
+pub fn plan_for_load_traced(
+    slicer: &mut Slicer<'_>,
+    prog: &Program,
+    profile: &Profile,
+    mc: &MachineConfig,
+    root: InstRef,
+    opts: &SelectOptions,
+    mut trace: Option<&mut ToolTrace>,
+) -> Option<SlicePlan> {
     let fid = root.func;
     // Candidate regions: innermost loop body outward, then the procedure.
     #[derive(Clone)]
@@ -137,10 +155,18 @@ pub fn plan_for_load(
 
     let mut best: Option<SlicePlan> = None;
     for cand in &cands {
+        let sw = trace.is_some().then(Stopwatch::start);
         let slice = slicer.slice_in_region(root, &cand.blocks);
+        if let Some(t) = trace.as_deref_mut() {
+            t.add_wall("slicing", sw.map_or(0, |s| s.elapsed_nanos()));
+            t.add("slicing", "slices_extracted", 1);
+            t.add("slicing", "slice_insts", slice.size() as u64);
+            t.add("slicing", "slice_live_ins", slice.live_in_count() as u64);
+        }
         if slice.size() > opts.max_slice_size {
             continue;
         }
+        let sw = trace.is_some().then(Stopwatch::start);
         let g = {
             let fa = slicer.analyses.get(prog, fid);
             RegionDepGraph::build_with_header(prog, fid, &cand.blocks, cand.header, fa, profile, mc)
@@ -150,12 +176,23 @@ pub fn plan_for_load(
         // the chain; the schedulers see the per-region-iteration view.
         let sg = g.induced(&keep).without_inner_carried();
         if sg.nodes.is_empty() {
+            if let Some(t) = trace.as_deref_mut() {
+                t.add_wall("sched", sw.map_or(0, |s| s.elapsed_nanos()));
+            }
             continue;
         }
         let region_height = g.critical_path(profile, prog, mc);
 
         let chain = schedule_chaining(&sg, prog, profile, mc, &opts.sched);
         let basic = schedule_basic(&sg, prog, profile, mc);
+        if let Some(t) = trace.as_deref_mut() {
+            t.add_wall("sched", sw.map_or(0, |s| s.elapsed_nanos()));
+            t.add("sched", "schedules", 2); // one chaining + one basic
+            let sccs = ssp_sched::SccPartition::new(&sg);
+            t.add("sched", "sccs", sccs.components.len() as u64);
+            let cyclic = sccs.components.iter().enumerate().filter(|(i, _)| sccs.is_cycle(*i));
+            t.add("sched", "cyclic_sccs", cyclic.count() as u64);
+        }
         let copy_cost = spawn_copy_latency(slice.live_in_count(), mc.lib_latency, mc.spawn_latency);
         let trips = cand.trips.round().max(1.0) as u64;
 

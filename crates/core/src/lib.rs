@@ -58,15 +58,26 @@
 //! let ssp = ssp_sim::simulate(&adapted.program, &MachineConfig::in_order());
 //! assert!(ssp.cycles < base.cycles);
 //! ```
+//!
+//! # Observability
+//!
+//! [`PostPassTool::run_traced`] additionally returns a
+//! [`ToolTrace`] with per-phase wall times and counters, and
+//! [`prefetch_targets`] plus [`ssp_sim::simulate_traced`] classify every
+//! speculative prefetch by timeliness. See `ARCHITECTURE.md` at the
+//! repository root for how the trace layer hooks each pipeline stage.
+
+#![warn(missing_docs)]
 
 pub use ssp_codegen::{AdaptOptions, AdaptReport, EmitOptions, SelectOptions, SkipReason};
 pub use ssp_ir::{Program, ProgramBuilder};
 pub use ssp_sched::{ScheduleOptions, SpModel};
 pub use ssp_sim::{
-    profile, simulate, speedup, CycleBreakdown, LoadStats, MachineConfig, MemoryMode, PipelineKind,
-    Profile, SimResult,
+    profile, simulate, simulate_traced, speedup, CycleBreakdown, LoadStats, MachineConfig,
+    MemoryMode, PipelineKind, Profile, SimResult, SimTrace, Timeliness, TimelinessCounts,
 };
 pub use ssp_slicing::SliceOptions;
+pub use ssp_trace::{PhaseSpan, Stopwatch, ToolTrace, TOOL_PHASES};
 
 /// Per-benchmark slice characteristics — one row of Table 2.
 #[derive(Clone, Debug, PartialEq)]
@@ -149,6 +160,59 @@ impl PostPassTool {
         let (program, report) = ssp_codegen::adapt(prog, &profile, &self.machine, &self.options);
         AdaptedBinary { program, report, profile }
     }
+
+    /// [`PostPassTool::run`] with tool-phase tracing: the returned
+    /// [`ToolTrace`] holds one span per phase (`profile`, `slicing`,
+    /// `sched`, `trigger`, `codegen`) with accumulated wall time and
+    /// counters.
+    pub fn run_traced(&self, prog: &Program) -> (AdaptedBinary, ToolTrace) {
+        let mut trace = ToolTrace::standard();
+        let sw = Stopwatch::start();
+        let profile = ssp_sim::profile(prog, &self.machine);
+        trace.add_wall("profile", sw.elapsed_nanos());
+        trace.add("profile", "profiled_loads", profile.loads.len() as u64);
+        let adapted = self.run_with_profile_traced(prog, profile, &mut trace);
+        (adapted, trace)
+    }
+
+    /// [`PostPassTool::run_with_profile`] with tool-phase tracing
+    /// accumulated into an existing [`ToolTrace`] (so callers timing the
+    /// profile phase themselves, like [`PostPassTool::run_traced`], can
+    /// pass theirs in).
+    pub fn run_with_profile_traced(
+        &self,
+        prog: &Program,
+        profile: Profile,
+        trace: &mut ToolTrace,
+    ) -> AdaptedBinary {
+        let (program, report) =
+            ssp_codegen::adapt_traced(prog, &profile, &self.machine, &self.options, Some(trace));
+        AdaptedBinary { program, report, profile }
+    }
+}
+
+/// Map every prefetching instruction of the adapted binary — the loads
+/// and `lfetch`es inside each emitted slice (including its stub) — to
+/// the first delinquent load its slice targets.
+///
+/// The result feeds [`simulate_traced`], which uses it to attribute
+/// never-consumed ("useless") prefetches to the right static load in
+/// the per-load timeliness histograms.
+pub fn prefetch_targets(adapted: &AdaptedBinary) -> Vec<(ssp_ir::InstTag, ssp_ir::InstTag)> {
+    let mut out = Vec::new();
+    for s in &adapted.report.slices {
+        let Some(&root) = s.root_tags.first() else { continue };
+        let f = adapted.program.func(s.trigger.func);
+        // Emitted blocks are contiguous: slice entry first, stub last.
+        for b in s.slice_entry.0..=s.stub.0 {
+            for inst in &f.block(ssp_ir::BlockId(b)).insts {
+                if matches!(inst.op, ssp_ir::Op::Ld { .. } | ssp_ir::Op::Lfetch { .. }) {
+                    out.push((inst.tag, root));
+                }
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -206,6 +270,42 @@ mod tests {
             adapted_ooo.report.slice_count(),
             "identical profile gives identical slices"
         );
+    }
+
+    #[test]
+    fn traced_run_reports_phases_and_timeliness() {
+        let prog = chase(300);
+        let tool = PostPassTool::new(MachineConfig::in_order());
+        let (adapted, trace) = tool.run_traced(&prog);
+        assert!(adapted.report.slice_count() >= 1);
+        // Every standard phase is present, in order, and the ones the
+        // pipeline exercised carry counters.
+        let names: Vec<&str> = trace.phases.iter().map(|p| p.name).collect();
+        assert_eq!(names, TOOL_PHASES.to_vec());
+        assert!(trace.phase("profile").unwrap().counter("delinquent_loads") >= 1);
+        assert!(trace.phase("slicing").unwrap().counter("slice_insts") >= 1);
+        assert!(trace.phase("sched").unwrap().counter("schedules") >= 2);
+        assert_eq!(
+            trace.phase("trigger").unwrap().counter("triggers_placed"),
+            adapted.report.slice_count() as u64
+        );
+        assert!(trace.phase("codegen").unwrap().counter("insts_added") >= 1);
+
+        // Traced simulation classifies every accepted prefetch, and the
+        // adapted pointer chase prefetches usefully.
+        let targets = prefetch_targets(&adapted);
+        assert!(!targets.is_empty(), "slices contain prefetching instructions");
+        let (result, sim) = simulate_traced(&adapted.program, tool.machine(), &targets);
+        assert!(result.halted);
+        assert!(sim.slices_spawned > 0);
+        assert!(sim.prefetches_issued > 0);
+        assert_eq!(sim.totals().total(), sim.prefetches_issued, "every prefetch classified");
+        let t = sim.totals();
+        assert!(t.timely + t.late > 0, "some prefetches reach their consumer: {t:?}");
+
+        // Tracing never changes timing.
+        let plain = simulate(&adapted.program, tool.machine());
+        assert_eq!(plain, result);
     }
 
     #[test]

@@ -33,6 +33,7 @@ use crate::exec::{alu_eval, cmp_eval, falu_eval, RegFile};
 use crate::mem::{LiveInBuffer, Memory, LIB_NO_SLOT};
 use crate::stats::SimResult;
 use crate::stride::StridePrefetcher;
+use crate::telemetry::Telemetry;
 use ssp_ir::reg::{conv, NUM_REGS};
 use ssp_ir::{BlockId, FuncId, InstRef, Op, Program};
 use std::collections::VecDeque;
@@ -155,6 +156,11 @@ pub struct Engine<'a> {
     fu_ring_base: u64,
     rr_next: usize,
     stride: Option<StridePrefetcher>,
+    /// Structured-trace collector, present only under
+    /// [`simulate_traced`]. `None` (the default) keeps every telemetry
+    /// hook to a single branch — no allocation, no time query — so the
+    /// untraced cycle loop is unchanged.
+    telemetry: Option<Box<Telemetry>>,
 }
 
 impl<'a> Engine<'a> {
@@ -191,11 +197,19 @@ impl<'a> Engine<'a> {
             fu_ring_base: 0,
             rr_next: 1,
             stride: cfg.stride_prefetcher.then(|| StridePrefetcher::new(cfg.stride_degree)),
+            telemetry: None,
         }
     }
 
     /// Run to `halt` (or the cycle cap) and return the statistics.
     pub fn run(mut self) -> SimResult {
+        self.run_to_end();
+        self.result
+    }
+
+    /// The body of [`Engine::run`], borrowed rather than consuming so
+    /// [`simulate_traced`] can extract both the result and the trace.
+    fn run_to_end(&mut self) {
         let max = if self.cfg.max_cycles == 0 { u64::MAX } else { self.cfg.max_cycles };
         let mut halted = false;
         while self.cycle < max {
@@ -207,7 +221,6 @@ impl<'a> Engine<'a> {
         }
         self.result.halted = halted;
         self.result.total_cycles = self.cycle;
-        self.result
     }
 
     fn effective_roi(&self) -> bool {
@@ -504,6 +517,9 @@ impl<'a> Engine<'a> {
     }
 
     fn kill_thread(&mut self, tid: usize) {
+        if let Some(tel) = self.telemetry.as_deref_mut() {
+            tel.slices_killed += 1;
+        }
         if let Some(slot) = self.threads[tid].owned_slot.take() {
             self.lib.free(slot);
         }
@@ -616,8 +632,18 @@ impl<'a> Engine<'a> {
                     self.threads[tid].outstanding.retain(|&(r, _)| r > self.cycle);
                     self.threads[tid].outstanding.push((ready, hit));
                 }
-                if self.effective_roi() {
+                let roi = self.effective_roi();
+                if roi {
                     self.result.loads.entry(tag).or_default().record(hit);
+                }
+                if let Some(tel) = self.telemetry.as_deref_mut() {
+                    if spec {
+                        // A slice load warms the hierarchy exactly like
+                        // an lfetch: track it as a prefetch.
+                        tel.record_prefetch(tag, addr, ready, hit);
+                    } else if roi {
+                        tel.record_demand(tag, addr, hit, self.cycle);
+                    }
                 }
                 self.threads[tid].pc = Some(next);
                 Flow::Continue
@@ -640,7 +666,16 @@ impl<'a> Engine<'a> {
             Op::Lfetch { base, off } => {
                 let addr = self.threads[tid].rf.read(base).wrapping_add(off as u64);
                 if self.cfg.memory_mode == MemoryMode::Normal {
-                    self.hier.access_prefetch(addr, start);
+                    let r = self.hier.access_prefetch(addr, start);
+                    if spec {
+                        let tag = self.decode.get(at).tag;
+                        if let Some(tel) = self.telemetry.as_deref_mut() {
+                            match r {
+                                Some(r) => tel.record_prefetch(tag, addr, r.ready_at, r.hit),
+                                None => tel.prefetches_dropped += 1,
+                            }
+                        }
+                    }
                 }
                 self.push_rob(tid, start, start + 1, false, None);
                 self.threads[tid].pc = Some(next);
@@ -780,6 +815,9 @@ impl<'a> Engine<'a> {
                     (rf.read(slot), rf.read(src))
                 };
                 self.lib.write(s, idx, v);
+                if let Some(tel) = self.telemetry.as_deref_mut() {
+                    tel.live_in_copies += 1;
+                }
                 self.push_rob(tid, start, start + self.cfg.lib_latency, false, None);
                 self.threads[tid].pc = Some(next);
                 Flow::Continue
@@ -787,6 +825,9 @@ impl<'a> Engine<'a> {
             Op::LibLd { dst, slot, idx } => {
                 let s = self.threads[tid].rf.read(slot);
                 let v = self.lib.read(s, idx);
+                if let Some(tel) = self.telemetry.as_deref_mut() {
+                    tel.live_in_copies += 1;
+                }
                 let done = start + self.cfg.lib_latency;
                 self.finish_write(tid, dst, v, done, None);
                 self.push_rob(tid, start, done, false, None);
@@ -881,4 +922,30 @@ pub fn simulate_reference(prog: &Program, cfg: &MachineConfig) -> SimResult {
     let mut e = Engine::new(prog, cfg);
     e.reference = true;
     e.run()
+}
+
+/// Run `prog` with structured tracing enabled, returning the usual
+/// statistics plus a [`ssp_trace::SimTrace`] that classifies every
+/// speculative prefetch as early / timely / late / useless relative to
+/// the main-thread load that consumed it.
+///
+/// `targets` maps prefetching instruction tags (slice loads and
+/// `lfetch`es, as reported by `ssp_core::prefetch_targets`) to the
+/// delinquent load their slice targets, so unconsumed prefetches are
+/// attributed to the right static load. An empty slice is fine:
+/// unconsumed prefetches then credit their own tag.
+///
+/// Tracing never changes timing: the returned [`SimResult`] is
+/// identical to what [`simulate`] produces for the same inputs.
+pub fn simulate_traced(
+    prog: &Program,
+    cfg: &MachineConfig,
+    targets: &[(ssp_ir::InstTag, ssp_ir::InstTag)],
+) -> (SimResult, ssp_trace::SimTrace) {
+    let mut e = Engine::new(prog, cfg);
+    e.telemetry = Some(Box::new(Telemetry::new(prog, cfg, targets)));
+    e.run_to_end();
+    let tel = e.telemetry.take().expect("telemetry installed above");
+    let trace = tel.finish(&e.result, e.cycle);
+    (e.result, trace)
 }

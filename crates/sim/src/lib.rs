@@ -39,6 +39,12 @@
 //! assert!(result.halted);
 //! assert!(result.cycles > 0);
 //! ```
+//!
+//! For observability, [`simulate_traced`] additionally returns a
+//! [`ssp_trace::SimTrace`] classifying every speculative prefetch as
+//! early / timely / late / useless relative to its consuming load.
+
+#![warn(missing_docs)]
 
 pub mod branch;
 pub mod cache;
@@ -50,12 +56,14 @@ pub mod mem;
 pub mod profile;
 pub mod stats;
 pub mod stride;
+mod telemetry;
 
 pub use cache::{AccessResult, Hierarchy, HitWhere};
 pub use config::{CacheConfig, MachineConfig, MemoryMode, PipelineKind};
 pub use decode::{DecodedInst, DecodedProgram};
-pub use engine::{simulate, simulate_reference, Engine};
+pub use engine::{simulate, simulate_reference, simulate_traced, Engine};
 pub use mem::{LiveInBuffer, Memory, LIB_NO_SLOT};
 pub use profile::{profile, LoadProfile, Profile};
+pub use ssp_trace::{SimTrace, Timeliness, TimelinessCounts};
 pub use stats::{speedup, CycleBreakdown, LoadStats, SimResult};
 pub use stride::StridePrefetcher;

@@ -1,0 +1,397 @@
+//! Allocation-free prefetch-timeliness telemetry for the engine.
+//!
+//! When tracing is requested ([`crate::simulate_traced`]) the engine
+//! carries a [`Telemetry`] collector that classifies every speculative
+//! prefetch as early / timely / late / useless relative to the
+//! main-thread load that consumes the prefetched line (the paper's
+//! Fig. 9 vocabulary). Everything the collector touches inside the
+//! cycle loop is pre-allocated, extending the PR-1 side-table pattern:
+//!
+//! * dense per-tag arrays sized by [`Program::next_tag`] map a
+//!   prefetching instruction to the delinquent load it targets and hold
+//!   per-load histograms;
+//! * outstanding prefetches live in a fixed-capacity open-addressing
+//!   hash table keyed by cache-line address, with linear probing, a
+//!   bounded probe window, and deterministic eviction (so parallel runs
+//!   stay byte-identical to serial ones).
+//!
+//! Classification rules, applied in simulation order:
+//!
+//! * a speculative access that hits L1 or an in-flight fill, or whose
+//!   line is already being tracked, did no new work → **useless**;
+//! * a main-thread ROI load that finds its line in the table consumes
+//!   the prefetch: L1 hit → **timely**, partial hit (line in transit)
+//!   → **late**, anything deeper → **early** (the prefetched line was
+//!   displaced before use);
+//! * entries still in the table when the run ends were never consumed
+//!   → **useless**.
+//!
+//! Early/timely/late are credited to the *consuming* load's tag;
+//! useless prefetches are credited to the delinquent load the slice
+//! targets (via the `targets` map from
+//! `ssp_core::prefetch_targets`), falling back to the prefetching
+//! instruction's own tag for untargeted speculative accesses.
+
+use crate::cache::HitWhere;
+use crate::config::MachineConfig;
+use crate::stats::SimResult;
+use ssp_ir::{InstTag, Program};
+use ssp_trace::{SimTrace, Timeliness, TimelinessCounts};
+
+/// Slots in the outstanding-prefetch table. Sized far above the fill
+/// buffer depth (16) times the number of speculative contexts, so
+/// overflow evictions ([`SimTrace::prefetch_table_evictions`]) indicate
+/// a pathological run rather than routine operation.
+const TABLE_SLOTS: usize = 8192;
+/// Linear-probe window; a full window forces a deterministic eviction.
+const PROBE_LIMIT: usize = 32;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    Empty,
+    Full,
+    /// Tombstone: removed, but probes must continue past it.
+    Dead,
+}
+
+#[derive(Clone, Copy)]
+struct Slot {
+    state: SlotState,
+    /// Cache-line address of the outstanding prefetch.
+    line: u64,
+    /// Cycle the prefetched fill completes.
+    ready_at: u64,
+    /// Raw tag value the prefetch is attributed to if it goes unused.
+    target: u32,
+}
+
+const EMPTY_SLOT: Slot = Slot { state: SlotState::Empty, line: 0, ready_at: 0, target: 0 };
+
+/// The engine-side collector. All storage is allocated in
+/// [`Telemetry::new`]; the per-event paths never allocate.
+pub(crate) struct Telemetry {
+    line_mask: u64,
+    /// Tag value → targeted delinquent load's tag value + 1 (0 = none).
+    target_of: Vec<u32>,
+    /// Dense per-tag histograms; compacted into a sparse sorted vec by
+    /// [`Telemetry::finish`].
+    per_load: Vec<TimelinessCounts>,
+    table: Vec<Slot>,
+    /// Event counters the engine increments directly.
+    pub live_in_copies: u64,
+    pub slices_killed: u64,
+    pub prefetches_dropped: u64,
+    prefetches_issued: u64,
+    prefetches_completed: u64,
+    evictions: u64,
+}
+
+impl Telemetry {
+    /// Build a collector for `prog`. `targets` maps prefetching
+    /// instruction tags (slice loads and `lfetch`es) to the delinquent
+    /// load each slice targets.
+    pub(crate) fn new(prog: &Program, cfg: &MachineConfig, targets: &[(InstTag, InstTag)]) -> Self {
+        let n = prog.next_tag as usize;
+        let mut target_of = vec![0u32; n];
+        for &(pf, root) in targets {
+            if let Some(t) = target_of.get_mut(pf.0 as usize) {
+                *t = root.0 + 1;
+            }
+        }
+        Telemetry {
+            line_mask: !(cfg.l1d.line as u64 - 1),
+            target_of,
+            per_load: vec![TimelinessCounts::default(); n],
+            table: vec![EMPTY_SLOT; TABLE_SLOTS],
+            live_in_copies: 0,
+            slices_killed: 0,
+            prefetches_dropped: 0,
+            prefetches_issued: 0,
+            prefetches_completed: 0,
+            evictions: 0,
+        }
+    }
+
+    fn classify(&mut self, tag_value: u32, class: Timeliness) {
+        if let Some(h) = self.per_load.get_mut(tag_value as usize) {
+            h.record(class);
+        }
+    }
+
+    fn home(&self, line: u64) -> usize {
+        // Fibonacci hashing of the line address; TABLE_SLOTS is a power
+        // of two, so masking keeps the distribution.
+        ((line.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) & (TABLE_SLOTS - 1)
+    }
+
+    /// A speculative thread issued a prefetching access (`lfetch` or a
+    /// slice load) that the hierarchy accepted.
+    pub(crate) fn record_prefetch(
+        &mut self,
+        tag: InstTag,
+        addr: u64,
+        ready_at: u64,
+        hit: HitWhere,
+    ) {
+        self.prefetches_issued += 1;
+        let target = match self.target_of.get(tag.0 as usize) {
+            Some(&t) if t != 0 => t - 1,
+            _ => tag.0,
+        };
+        // The line was already resident (L1) or in transit (partial):
+        // the prefetch did no new work.
+        if !matches!(hit, HitWhere::L2 | HitWhere::L3 | HitWhere::Mem) {
+            self.classify(target, Timeliness::Useless);
+            return;
+        }
+        let line = addr & self.line_mask;
+        let home = self.home(line);
+        let mut insert_at = None;
+        for i in 0..PROBE_LIMIT {
+            let idx = (home + i) & (TABLE_SLOTS - 1);
+            let s = &self.table[idx];
+            match s.state {
+                SlotState::Full if s.line == line => {
+                    // Duplicate prefetch of a tracked line: useless.
+                    self.classify(target, Timeliness::Useless);
+                    return;
+                }
+                SlotState::Full => {}
+                SlotState::Empty => {
+                    insert_at = insert_at.or(Some(idx));
+                    break;
+                }
+                SlotState::Dead => insert_at = insert_at.or(Some(idx)),
+            }
+        }
+        let idx = match insert_at {
+            Some(i) => i,
+            None => {
+                // Probe window full: deterministically evict the entry
+                // with the earliest completion (ties broken by slot
+                // order), counting the victim as useless.
+                let mut victim = home & (TABLE_SLOTS - 1);
+                let mut best = u64::MAX;
+                for i in 0..PROBE_LIMIT {
+                    let idx = (home + i) & (TABLE_SLOTS - 1);
+                    if self.table[idx].ready_at < best {
+                        best = self.table[idx].ready_at;
+                        victim = idx;
+                    }
+                }
+                let old_target = self.table[victim].target;
+                self.classify(old_target, Timeliness::Useless);
+                self.evictions += 1;
+                victim
+            }
+        };
+        self.table[idx] = Slot { state: SlotState::Full, line, ready_at, target };
+    }
+
+    /// The main thread executed a demand load inside the ROI.
+    pub(crate) fn record_demand(&mut self, tag: InstTag, addr: u64, hit: HitWhere, now: u64) {
+        let line = addr & self.line_mask;
+        let home = self.home(line);
+        for i in 0..PROBE_LIMIT {
+            let idx = (home + i) & (TABLE_SLOTS - 1);
+            match self.table[idx].state {
+                SlotState::Empty => return,
+                SlotState::Dead => {}
+                SlotState::Full if self.table[idx].line != line => {}
+                SlotState::Full => {
+                    if self.table[idx].ready_at <= now {
+                        self.prefetches_completed += 1;
+                    }
+                    self.table[idx].state = SlotState::Dead;
+                    let class = match hit {
+                        HitWhere::L1 => Timeliness::Timely,
+                        HitWhere::L2Partial | HitWhere::L3Partial | HitWhere::MemPartial => {
+                            Timeliness::Late
+                        }
+                        HitWhere::L2 | HitWhere::L3 | HitWhere::Mem => Timeliness::Early,
+                    };
+                    self.classify(tag.0, class);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Drain the table (unconsumed prefetches are useless), fold in the
+    /// engine counters, and produce the final trace.
+    pub(crate) fn finish(mut self, result: &SimResult, end_cycle: u64) -> SimTrace {
+        for idx in 0..TABLE_SLOTS {
+            if self.table[idx].state == SlotState::Full {
+                let target = self.table[idx].target;
+                if self.table[idx].ready_at <= end_cycle {
+                    self.prefetches_completed += 1;
+                }
+                self.table[idx].state = SlotState::Dead;
+                self.classify(target, Timeliness::Useless);
+            }
+        }
+        let per_load: Vec<(u32, TimelinessCounts)> = self
+            .per_load
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.total() > 0)
+            .map(|(i, h)| (i as u32, *h))
+            .collect();
+        SimTrace {
+            triggers_fired: result.spawns_fired,
+            triggers_suppressed: result.spawns_suppressed,
+            slices_spawned: result.threads_spawned,
+            slices_killed: self.slices_killed,
+            live_in_copies: self.live_in_copies,
+            prefetches_issued: self.prefetches_issued,
+            prefetches_dropped: self.prefetches_dropped,
+            prefetches_completed: self.prefetches_completed,
+            prefetch_table_evictions: self.evictions,
+            per_load,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssp_ir::{CmpKind, ProgramBuilder, Reg};
+
+    fn tiny_prog() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        // Enough instructions that tags 0..8 exist.
+        f.at(e)
+            .movi(Reg(1), 0)
+            .movi(Reg(2), 0)
+            .ld(Reg(3), Reg(1), 0)
+            .ld(Reg(4), Reg(1), 8)
+            .cmp(CmpKind::Lt, Reg(5), Reg(1), 1)
+            .ld(Reg(6), Reg(1), 16)
+            .ld(Reg(7), Reg(1), 24)
+            .ld(Reg(8), Reg(1), 32)
+            .halt();
+        let main = f.finish();
+        pb.finish_with(main)
+    }
+
+    fn tel(targets: &[(InstTag, InstTag)]) -> Telemetry {
+        let prog = tiny_prog();
+        let cfg = MachineConfig::in_order();
+        Telemetry::new(&prog, &cfg, targets)
+    }
+
+    const PF: InstTag = InstTag(5); // the "slice load" tag
+    const ROOT: InstTag = InstTag(2); // the delinquent load it targets
+    const CONSUMER: InstTag = InstTag(3); // main-thread load consuming the line
+
+    #[test]
+    fn timely_when_demand_hits_l1() {
+        let mut t = tel(&[(PF, ROOT)]);
+        t.record_prefetch(PF, 0x1000, 230, HitWhere::Mem);
+        t.record_demand(CONSUMER, 0x1008, HitWhere::L1, 500);
+        let trace = t.finish(&SimResult::default(), 1000);
+        assert_eq!(trace.histogram(CONSUMER.0).timely, 1);
+        assert_eq!(trace.totals().total(), 1);
+        assert_eq!(trace.prefetches_issued, 1);
+        assert_eq!(trace.prefetches_completed, 1);
+    }
+
+    #[test]
+    fn late_when_line_still_in_transit() {
+        let mut t = tel(&[(PF, ROOT)]);
+        t.record_prefetch(PF, 0x1000, 230, HitWhere::Mem);
+        // Demand arrives at cycle 100 < 230: partial hit.
+        t.record_demand(CONSUMER, 0x1000, HitWhere::MemPartial, 100);
+        let trace = t.finish(&SimResult::default(), 1000);
+        assert_eq!(trace.histogram(CONSUMER.0).late, 1);
+        // The fill had not completed at consumption time.
+        assert_eq!(trace.prefetches_completed, 0);
+    }
+
+    #[test]
+    fn early_when_line_was_displaced_before_use() {
+        let mut t = tel(&[(PF, ROOT)]);
+        t.record_prefetch(PF, 0x1000, 230, HitWhere::Mem);
+        // By the time the demand load runs, the line fell out of L1.
+        t.record_demand(CONSUMER, 0x1000, HitWhere::L2, 90_000);
+        let trace = t.finish(&SimResult::default(), 100_000);
+        assert_eq!(trace.histogram(CONSUMER.0).early, 1);
+    }
+
+    #[test]
+    fn useless_when_never_consumed_credits_root() {
+        let mut t = tel(&[(PF, ROOT)]);
+        t.record_prefetch(PF, 0x1000, 230, HitWhere::Mem);
+        let trace = t.finish(&SimResult::default(), 1000);
+        assert_eq!(trace.histogram(ROOT.0).useless, 1);
+        assert_eq!(trace.histogram(CONSUMER.0).total(), 0);
+    }
+
+    #[test]
+    fn useless_when_prefetch_was_redundant() {
+        let mut t = tel(&[(PF, ROOT)]);
+        // The line was already in L1: no work done.
+        t.record_prefetch(PF, 0x1000, 2, HitWhere::L1);
+        // The line was already in transit: no work done either.
+        t.record_prefetch(PF, 0x2000, 50, HitWhere::MemPartial);
+        // Tracked-line duplicate: first insert works, second is useless.
+        t.record_prefetch(PF, 0x3000, 230, HitWhere::Mem);
+        t.record_prefetch(PF, 0x3008, 230, HitWhere::Mem);
+        let trace = t.finish(&SimResult::default(), 1000);
+        // 3 immediate useless + 1 unconsumed at finish.
+        assert_eq!(trace.histogram(ROOT.0).useless, 4);
+        assert_eq!(trace.prefetches_issued, 4);
+    }
+
+    #[test]
+    fn untargeted_prefetch_credits_its_own_tag() {
+        let mut t = tel(&[]);
+        t.record_prefetch(PF, 0x1000, 230, HitWhere::Mem);
+        let trace = t.finish(&SimResult::default(), 1000);
+        assert_eq!(trace.histogram(PF.0).useless, 1);
+    }
+
+    #[test]
+    fn demand_on_untracked_line_is_ignored() {
+        let mut t = tel(&[(PF, ROOT)]);
+        t.record_demand(CONSUMER, 0x9000, HitWhere::Mem, 10);
+        let trace = t.finish(&SimResult::default(), 1000);
+        assert_eq!(trace.totals().total(), 0);
+    }
+
+    #[test]
+    fn consumed_line_is_not_double_counted() {
+        let mut t = tel(&[(PF, ROOT)]);
+        t.record_prefetch(PF, 0x1000, 230, HitWhere::Mem);
+        t.record_demand(CONSUMER, 0x1000, HitWhere::L1, 500);
+        t.record_demand(CONSUMER, 0x1000, HitWhere::L1, 501);
+        let trace = t.finish(&SimResult::default(), 1000);
+        assert_eq!(trace.totals().total(), 1);
+    }
+
+    #[test]
+    fn probe_window_overflow_evicts_deterministically() {
+        let mut t = tel(&[(PF, ROOT)]);
+        // Brute-force search for PROBE_LIMIT+1 distinct lines sharing
+        // one home slot, so the probe window must overflow.
+        let mut lines = Vec::new();
+        let home0 = t.home(0);
+        let mut cand = 0u64;
+        while lines.len() < PROBE_LIMIT + 1 {
+            if t.home(cand << 6) == home0 {
+                lines.push(cand << 6);
+            }
+            cand += 1;
+        }
+        for (i, &l) in lines.iter().enumerate() {
+            t.record_prefetch(PF, l, 100 + i as u64, HitWhere::Mem);
+        }
+        let trace = t.finish(&SimResult::default(), 10_000);
+        assert_eq!(trace.prefetch_table_evictions, 1);
+        assert_eq!(trace.prefetches_issued, (PROBE_LIMIT + 1) as u64);
+        // Evicted + drained-at-finish all land in useless.
+        assert_eq!(trace.histogram(ROOT.0).useless, (PROBE_LIMIT + 1) as u64);
+    }
+}

@@ -1,0 +1,446 @@
+//! Structured tracing for the SSP pipeline.
+//!
+//! The post-pass tool and the simulator both expose only end-of-run
+//! aggregates by default. This crate provides the *observability layer*
+//! threaded through the whole workspace:
+//!
+//! * **Tool phase spans** ([`ToolTrace`], [`PhaseSpan`]): per-phase wall
+//!   time plus named counters for the five tool phases (`profile`,
+//!   `slicing`, `sched`, `trigger`, `codegen`) — slice sizes, SCC
+//!   counts, triggers placed, live-ins per trigger.
+//! * **Simulator events** ([`SimEvent`], [`TraceSink`]): trigger fired,
+//!   slice spawned/killed, live-in copy, prefetch issued/dropped, and
+//!   the per-prefetch *timeliness* classification ([`Timeliness`]) of
+//!   every SSP prefetch relative to the consuming delinquent load.
+//! * **Deterministic accumulation** ([`SimTrace`], [`TimelinessCounts`]):
+//!   plain-data results that merge by value, so parallel experiment
+//!   runs collected by input index are byte-identical to serial runs.
+//!
+//! Tracing is strictly opt-in and zero-cost when disabled: the
+//! instrumented call sites in `ssp-sim` and `ssp-codegen` take an
+//! `Option` sink and do nothing (no allocation, no time query) when it
+//! is `None`. The simulator's built-in collector additionally
+//! pre-allocates every structure it needs (dense per-tag histograms and
+//! a fixed-capacity prefetch table, extending the decoded-side-table
+//! pattern), so even *enabled* tracing allocates nothing inside the
+//! cycle loop.
+//!
+//! # Example
+//!
+//! ```
+//! use ssp_trace::{SimEvent, SimTrace, Timeliness, TraceSink};
+//!
+//! let mut trace = SimTrace::default();
+//! trace.event(SimEvent::TriggerFired);
+//! trace.event(SimEvent::SliceSpawned);
+//! trace.event(SimEvent::PrefetchIssued);
+//! trace.event(SimEvent::PrefetchClassified { load: 7, class: Timeliness::Timely });
+//! assert_eq!(trace.triggers_fired, 1);
+//! assert_eq!(trace.histogram(7).timely, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+/// How an SSP prefetch relates, in time, to the demand load that
+/// consumes the prefetched cache line.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Timeliness {
+    /// The prefetch completed so far ahead that the line left L1 (or
+    /// was only ever useful at an outer level) before the consuming
+    /// load arrived: the load still missed L1.
+    Early,
+    /// The prefetched line was resident and valid in L1 when the
+    /// consuming load arrived: the full miss latency was hidden.
+    Timely,
+    /// The line was still in transit when the consuming load arrived
+    /// (a *partial* hit): some, but not all, of the latency was hidden.
+    Late,
+    /// The prefetch did no work: the line was already present or in
+    /// flight when it issued, it was displaced before anyone used it,
+    /// or no demand load ever touched the line.
+    Useless,
+}
+
+/// Early/timely/late/useless counts for one static load (or one
+/// aggregate), mergeable by field-wise addition.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TimelinessCounts {
+    /// Prefetches that completed but whose line left L1 before use.
+    pub early: u64,
+    /// Prefetches whose line was valid in L1 at the consuming load.
+    pub timely: u64,
+    /// Prefetches whose line was still in transit at the consuming load.
+    pub late: u64,
+    /// Prefetches that were redundant or never consumed.
+    pub useless: u64,
+}
+
+impl TimelinessCounts {
+    /// Record one classified prefetch.
+    pub fn record(&mut self, class: Timeliness) {
+        match class {
+            Timeliness::Early => self.early += 1,
+            Timeliness::Timely => self.timely += 1,
+            Timeliness::Late => self.late += 1,
+            Timeliness::Useless => self.useless += 1,
+        }
+    }
+
+    /// Total classified prefetches.
+    pub fn total(&self) -> u64 {
+        self.early + self.timely + self.late + self.useless
+    }
+
+    /// Field-wise accumulation of another histogram.
+    pub fn merge(&mut self, other: &TimelinessCounts) {
+        self.early += other.early;
+        self.timely += other.timely;
+        self.late += other.late;
+        self.useless += other.useless;
+    }
+}
+
+/// One structured simulator event.
+///
+/// Loads are identified by their instruction tag's raw value so the
+/// event type stays independent of the IR crate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SimEvent {
+    /// A `chk.c` found free resources and redirected to its stub.
+    TriggerFired,
+    /// A `chk.c` found no free context/slot and behaved as a nop.
+    TriggerSuppressed,
+    /// A `spawn` bound a free hardware context to a slice.
+    SliceSpawned,
+    /// A speculative thread ended (voluntarily or killed).
+    SliceKilled,
+    /// One live-in word moved through the live-in buffer.
+    LiveInCopy,
+    /// A speculative thread issued a prefetching access.
+    PrefetchIssued,
+    /// A speculative `lfetch` was dropped (fill buffer full).
+    PrefetchDropped,
+    /// A prefetch received its final timeliness classification,
+    /// attributed to the static load with tag value `load`.
+    PrefetchClassified {
+        /// Raw tag value of the load the classification is attributed
+        /// to (the consumer for early/timely/late, the targeted
+        /// delinquent load for useless).
+        load: u32,
+        /// The classification.
+        class: Timeliness,
+    },
+}
+
+/// A sink for structured simulator events.
+///
+/// [`SimTrace`] is the canonical accumulating sink; tests may implement
+/// their own (e.g. an event log). The simulator's built-in collector
+/// classifies prefetches internally with pre-allocated dense tables and
+/// reports the same totals a [`SimTrace`] fed event-by-event would hold.
+pub trait TraceSink {
+    /// Consume one event.
+    fn event(&mut self, ev: SimEvent);
+}
+
+/// Deterministic per-run simulator trace: event totals plus per-load
+/// prefetch-timeliness histograms.
+///
+/// `PartialEq` compares every field, so determinism tests can assert
+/// two runs produced identical traces.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SimTrace {
+    /// `chk.c` executions that fired (redirected to the stub).
+    pub triggers_fired: u64,
+    /// `chk.c` executions that found no free resources.
+    pub triggers_suppressed: u64,
+    /// Speculative threads started.
+    pub slices_spawned: u64,
+    /// Speculative threads ended (voluntary kill, runaway, or fault).
+    pub slices_killed: u64,
+    /// Live-in-buffer words copied (stub stores plus slice loads).
+    pub live_in_copies: u64,
+    /// Prefetching accesses issued by speculative threads.
+    pub prefetches_issued: u64,
+    /// Speculative `lfetch`es dropped because the fill buffer was full.
+    pub prefetches_dropped: u64,
+    /// Prefetches whose fill completed before consumption (or run end).
+    pub prefetches_completed: u64,
+    /// Prefetch-table entries displaced before classification (the
+    /// displaced prefetch is counted useless); nonzero values mean the
+    /// fixed-capacity tracking table overflowed.
+    pub prefetch_table_evictions: u64,
+    /// Per-load timeliness histograms, keyed by raw tag value, sorted
+    /// ascending, only loads with at least one classified prefetch.
+    pub per_load: Vec<(u32, TimelinessCounts)>,
+}
+
+impl SimTrace {
+    /// The histogram for raw tag value `load` (zeroes if absent).
+    pub fn histogram(&self, load: u32) -> TimelinessCounts {
+        match self.per_load.binary_search_by_key(&load, |e| e.0) {
+            Ok(i) => self.per_load[i].1,
+            Err(_) => TimelinessCounts::default(),
+        }
+    }
+
+    /// Record a classification for `load`, keeping `per_load` sorted.
+    ///
+    /// This general-purpose path may allocate; the simulator's built-in
+    /// collector uses dense pre-sized tables instead and only builds the
+    /// sparse vector once, after the run.
+    pub fn record_classified(&mut self, load: u32, class: Timeliness) {
+        let i = match self.per_load.binary_search_by_key(&load, |e| e.0) {
+            Ok(i) => i,
+            Err(i) => {
+                self.per_load.insert(i, (load, TimelinessCounts::default()));
+                i
+            }
+        };
+        self.per_load[i].1.record(class);
+    }
+
+    /// Sum of all per-load histograms.
+    pub fn totals(&self) -> TimelinessCounts {
+        let mut t = TimelinessCounts::default();
+        for (_, h) in &self.per_load {
+            t.merge(h);
+        }
+        t
+    }
+
+    /// Field-wise accumulation of another trace (histograms merge by
+    /// tag). Used to aggregate a whole suite deterministically.
+    pub fn merge(&mut self, other: &SimTrace) {
+        self.triggers_fired += other.triggers_fired;
+        self.triggers_suppressed += other.triggers_suppressed;
+        self.slices_spawned += other.slices_spawned;
+        self.slices_killed += other.slices_killed;
+        self.live_in_copies += other.live_in_copies;
+        self.prefetches_issued += other.prefetches_issued;
+        self.prefetches_dropped += other.prefetches_dropped;
+        self.prefetches_completed += other.prefetches_completed;
+        self.prefetch_table_evictions += other.prefetch_table_evictions;
+        for &(load, h) in &other.per_load {
+            let i = match self.per_load.binary_search_by_key(&load, |e| e.0) {
+                Ok(i) => i,
+                Err(i) => {
+                    self.per_load.insert(i, (load, TimelinessCounts::default()));
+                    i
+                }
+            };
+            self.per_load[i].1.merge(&h);
+        }
+    }
+}
+
+impl TraceSink for SimTrace {
+    fn event(&mut self, ev: SimEvent) {
+        match ev {
+            SimEvent::TriggerFired => self.triggers_fired += 1,
+            SimEvent::TriggerSuppressed => self.triggers_suppressed += 1,
+            SimEvent::SliceSpawned => self.slices_spawned += 1,
+            SimEvent::SliceKilled => self.slices_killed += 1,
+            SimEvent::LiveInCopy => self.live_in_copies += 1,
+            SimEvent::PrefetchIssued => self.prefetches_issued += 1,
+            SimEvent::PrefetchDropped => self.prefetches_dropped += 1,
+            SimEvent::PrefetchClassified { load, class } => self.record_classified(load, class),
+        }
+    }
+}
+
+/// The five tool phases, in pipeline order. [`ToolTrace::standard`]
+/// pre-seeds spans in this order so traced reports always have the same
+/// shape, slices or not.
+pub const TOOL_PHASES: [&str; 5] = ["profile", "slicing", "sched", "trigger", "codegen"];
+
+/// One tool phase's span: accumulated wall time plus named counters.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PhaseSpan {
+    /// Phase name (one of [`TOOL_PHASES`] for the standard pipeline).
+    pub name: &'static str,
+    /// Accumulated wall time across every visit to the phase.
+    pub wall_nanos: u64,
+    /// Named counters in first-touch order (additive across visits).
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+impl PhaseSpan {
+    /// An empty span named `name`.
+    pub fn new(name: &'static str) -> Self {
+        PhaseSpan { name, wall_nanos: 0, counters: Vec::new() }
+    }
+
+    /// Add `v` to counter `name`, creating it at zero if absent.
+    pub fn add(&mut self, name: &'static str, v: u64) {
+        match self.counters.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, c)) => *c += v,
+            None => self.counters.push((name, v)),
+        }
+    }
+
+    /// The value of counter `name` (zero if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(n, _)| *n == name).map_or(0, |(_, c)| *c)
+    }
+}
+
+/// Per-adaptation tool trace: one [`PhaseSpan`] per phase.
+///
+/// Counters are deterministic (pure functions of the input program and
+/// options); `wall_nanos` is wall-clock and varies run to run, which is
+/// why machine-readable reports omit it unless explicitly asked
+/// (see `trace_report`'s schema notes).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ToolTrace {
+    /// Phase spans in first-touch order.
+    pub phases: Vec<PhaseSpan>,
+}
+
+impl ToolTrace {
+    /// A trace pre-seeded with the five standard phases ([`TOOL_PHASES`])
+    /// so reports have a stable shape even when a phase never runs.
+    pub fn standard() -> Self {
+        ToolTrace { phases: TOOL_PHASES.iter().map(|n| PhaseSpan::new(n)).collect() }
+    }
+
+    /// The span named `name`, created empty if absent.
+    pub fn phase_mut(&mut self, name: &'static str) -> &mut PhaseSpan {
+        if let Some(i) = self.phases.iter().position(|p| p.name == name) {
+            return &mut self.phases[i];
+        }
+        self.phases.push(PhaseSpan::new(name));
+        self.phases.last_mut().expect("just pushed")
+    }
+
+    /// The span named `name`, if present.
+    pub fn phase(&self, name: &str) -> Option<&PhaseSpan> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+
+    /// Add `v` to counter `counter` of phase `phase`.
+    pub fn add(&mut self, phase: &'static str, counter: &'static str, v: u64) {
+        self.phase_mut(phase).add(counter, v);
+    }
+
+    /// Add wall time to phase `phase`.
+    pub fn add_wall(&mut self, phase: &'static str, nanos: u64) {
+        self.phase_mut(phase).wall_nanos += nanos;
+    }
+
+    /// Accumulate another tool trace (spans merge by name, counters by
+    /// counter name).
+    pub fn merge(&mut self, other: &ToolTrace) {
+        for p in &other.phases {
+            let span = self.phase_mut(p.name);
+            span.wall_nanos += p.wall_nanos;
+            for &(n, v) in &p.counters {
+                span.add(n, v);
+            }
+        }
+    }
+}
+
+/// A minimal wall-clock stopwatch for phase spans.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch(std::time::Instant);
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Stopwatch(std::time::Instant::now())
+    }
+
+    /// Nanoseconds since [`Stopwatch::start`], saturating.
+    pub fn elapsed_nanos(&self) -> u64 {
+        u64::try_from(self.0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_trace_accumulates_events() {
+        let mut t = SimTrace::default();
+        t.event(SimEvent::TriggerFired);
+        t.event(SimEvent::TriggerFired);
+        t.event(SimEvent::TriggerSuppressed);
+        t.event(SimEvent::SliceSpawned);
+        t.event(SimEvent::SliceKilled);
+        t.event(SimEvent::LiveInCopy);
+        t.event(SimEvent::PrefetchIssued);
+        t.event(SimEvent::PrefetchDropped);
+        assert_eq!(t.triggers_fired, 2);
+        assert_eq!(t.triggers_suppressed, 1);
+        assert_eq!(t.slices_spawned, 1);
+        assert_eq!(t.slices_killed, 1);
+        assert_eq!(t.live_in_copies, 1);
+        assert_eq!(t.prefetches_issued, 1);
+        assert_eq!(t.prefetches_dropped, 1);
+    }
+
+    #[test]
+    fn per_load_histograms_stay_sorted() {
+        let mut t = SimTrace::default();
+        for (load, class) in [
+            (9, Timeliness::Timely),
+            (3, Timeliness::Early),
+            (9, Timeliness::Late),
+            (5, Timeliness::Useless),
+            (9, Timeliness::Timely),
+        ] {
+            t.event(SimEvent::PrefetchClassified { load, class });
+        }
+        let tags: Vec<u32> = t.per_load.iter().map(|e| e.0).collect();
+        assert_eq!(tags, vec![3, 5, 9]);
+        assert_eq!(t.histogram(9).timely, 2);
+        assert_eq!(t.histogram(9).late, 1);
+        assert_eq!(t.histogram(3).early, 1);
+        assert_eq!(t.histogram(1).total(), 0);
+        assert_eq!(t.totals().total(), 5);
+    }
+
+    #[test]
+    fn traces_merge_by_tag() {
+        let mut a = SimTrace::default();
+        a.event(SimEvent::PrefetchClassified { load: 2, class: Timeliness::Timely });
+        a.event(SimEvent::PrefetchIssued);
+        let mut b = SimTrace::default();
+        b.event(SimEvent::PrefetchClassified { load: 2, class: Timeliness::Early });
+        b.event(SimEvent::PrefetchClassified { load: 7, class: Timeliness::Useless });
+        b.event(SimEvent::PrefetchIssued);
+        a.merge(&b);
+        assert_eq!(a.prefetches_issued, 2);
+        assert_eq!(a.histogram(2).timely, 1);
+        assert_eq!(a.histogram(2).early, 1);
+        assert_eq!(a.histogram(7).useless, 1);
+    }
+
+    #[test]
+    fn tool_trace_counters_and_merge() {
+        let mut t = ToolTrace::standard();
+        assert_eq!(t.phases.len(), TOOL_PHASES.len());
+        t.add("slicing", "slice_insts", 7);
+        t.add("slicing", "slice_insts", 3);
+        t.add("sched", "sccs", 4);
+        assert_eq!(t.phase("slicing").unwrap().counter("slice_insts"), 10);
+        let mut u = ToolTrace::standard();
+        u.add("slicing", "slice_insts", 5);
+        u.merge(&t);
+        assert_eq!(u.phase("slicing").unwrap().counter("slice_insts"), 15);
+        assert_eq!(u.phase("sched").unwrap().counter("sccs"), 4);
+        // Phase order is stable under merge.
+        let names: Vec<&str> = u.phases.iter().map(|p| p.name).collect();
+        assert_eq!(names, TOOL_PHASES.to_vec());
+    }
+
+    #[test]
+    fn stopwatch_monotonic() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_nanos();
+        let b = sw.elapsed_nanos();
+        assert!(b >= a);
+    }
+}
