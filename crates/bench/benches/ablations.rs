@@ -10,7 +10,7 @@ use ssp_core::{simulate, AdaptOptions, MachineConfig, PostPassTool, ScheduleOpti
 
 fn ssp_cycles(w: &ssp_workloads::Workload, mc: &MachineConfig, opts: AdaptOptions) -> u64 {
     let tool = PostPassTool::new(mc.clone()).with_options(opts);
-    let adapted = tool.run(&w.program);
+    let adapted = tool.run(&w.program).expect("adaptation succeeds");
     simulate(&adapted.program, mc).cycles
 }
 

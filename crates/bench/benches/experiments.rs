@@ -24,7 +24,7 @@ fn bench_fig8(c: &mut Criterion) {
     let io = MachineConfig::in_order();
     let ooo = MachineConfig::out_of_order();
     let tool = PostPassTool::new(io.clone());
-    let adapted = tool.run(&w.program);
+    let adapted = tool.run(&w.program).expect("adaptation succeeds");
     let mut g = c.benchmark_group("fig8_speedups");
     g.sample_size(10);
     g.bench_function("treeadd.bf/in-order/base", |b| b.iter(|| simulate(&w.program, &io).cycles));
@@ -43,7 +43,7 @@ fn bench_fig9_fig10_stats(c: &mut Criterion) {
     let w = ssp_workloads::em3d::build(SEED);
     let io = MachineConfig::in_order();
     let tool = PostPassTool::new(io.clone());
-    let adapted = tool.run(&w.program);
+    let adapted = tool.run(&w.program).expect("adaptation succeeds");
     let mut g = c.benchmark_group("fig9_fig10_instrumented_runs");
     g.sample_size(10);
     g.bench_function("em3d/in-order/ssp-with-stats", |b| {
@@ -63,7 +63,9 @@ fn bench_table2_adaptation(c: &mut Criterion) {
     let mut g = c.benchmark_group("table2_post_pass_tool");
     g.sample_size(10);
     for w in ssp_workloads::suite(SEED) {
-        g.bench_function(w.name, |b| b.iter(|| tool.run(&w.program).report.slice_count()));
+        g.bench_function(w.name, |b| {
+            b.iter(|| tool.run(&w.program).expect("adaptation succeeds").report.slice_count())
+        });
     }
     g.finish();
 }

@@ -28,7 +28,7 @@ fn bench_phases(c: &mut Criterion) {
                 let l = fa.loops.innermost(root.block).unwrap();
                 fa.loops.get(l).blocks.clone()
             };
-            slicer.slice_in_region(root, &fa_blocks).size()
+            slicer.slice_in_region(root, &fa_blocks).expect("root is a load").size()
         })
     });
 
@@ -39,7 +39,7 @@ fn bench_phases(c: &mut Criterion) {
             let l = fa.loops.innermost(root.block).unwrap();
             fa.loops.get(l).blocks.clone()
         };
-        let slice = slicer.slice_in_region(root, &blocks);
+        let slice = slicer.slice_in_region(root, &blocks).expect("root is a load");
         let graph = {
             let fa = slicer.analyses.get(&w.program, root.func);
             RegionDepGraph::build(&w.program, root.func, &blocks, fa, &profile, &mc)
@@ -66,7 +66,7 @@ fn bench_phases(c: &mut Criterion) {
             let l = fa.loops.innermost(root.block).unwrap();
             fa.loops.get(l).blocks.clone()
         };
-        let slice = slicer.slice_in_region(root, &blocks);
+        let slice = slicer.slice_in_region(root, &blocks).expect("root is a load");
         let mut analyses = Analyses::new();
         b.iter(|| {
             let fa = analyses.get(&w.program, root.func);
@@ -82,7 +82,7 @@ fn bench_phases(c: &mut Criterion) {
 
     g.bench_function("full_adapt", |b| {
         let tool = ssp_core::PostPassTool::new(mc.clone());
-        b.iter(|| tool.run(&w.program).report.slice_count())
+        b.iter(|| tool.run(&w.program).expect("adaptation succeeds").report.slice_count())
     });
     g.finish();
 }

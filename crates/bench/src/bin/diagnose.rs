@@ -20,7 +20,7 @@ fn main() {
             continue;
         }
         let tool = PostPassTool::new(io.clone());
-        let adapted = tool.run(&w.program);
+        let adapted = tool.run(&w.program).expect("adaptation succeeds");
         let base = simulate(&w.program, &io);
         let ssp = simulate(&adapted.program, &io);
         println!("=== {} ===", w.name);

@@ -22,8 +22,9 @@ fn main() {
             root,
             &Default::default(),
         ) {
-            None => println!("    NO PLAN"),
-            Some(p) => {
+            Err(e) => println!("    SLICE ERROR: {e}"),
+            Ok(None) => println!("    NO PLAN"),
+            Ok(Some(p)) => {
                 println!(
                     "    model={:?} region={:?} trips={:.0} reduced={} slack1={} live_ins={:?} latch={:?} predicted={:?}",
                     p.model, p.blocks, p.trip_count, p.reduced, p.slack_1,
@@ -41,7 +42,7 @@ fn main() {
     }
     if std::env::args().nth(2).as_deref() == Some("-p") {
         let tool = PostPassTool::new(io);
-        let adapted = tool.run(&w.program);
+        let adapted = tool.run(&w.program).expect("adaptation succeeds");
         println!("{}", adapted.program);
     }
 }

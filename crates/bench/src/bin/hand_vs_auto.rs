@@ -19,7 +19,7 @@ fn main() {
         vec![("mcf", hand::adapt_mcf), ("health", hand::adapt_health)];
     for (name, hand_adapt) in cases {
         let w = ssp_workloads::by_name(name, SEED).expect("known benchmark");
-        let auto = tool.run(&w.program);
+        let auto = tool.run(&w.program).expect("adaptation succeeds");
         let hand_prog = hand_adapt(&w.program);
 
         let base_io = simulate(&w.program, &io);

@@ -48,7 +48,7 @@ fn main() {
 
         let tool = PostPassTool::new(io.clone()).with_options(opts.clone());
         let t0 = Instant::now();
-        let adapted = tool.run_with_profile(&w.program, profile);
+        let adapted = tool.run_with_profile(&w.program, profile).expect("adaptation succeeds");
         let adapt_s = t0.elapsed().as_secs_f64();
 
         let t0 = Instant::now();
@@ -79,6 +79,7 @@ fn main() {
             PostPassTool::new(io.clone())
                 .with_options(opts.clone())
                 .run(&w.program)
+                .expect("adaptation succeeds")
                 .report
                 .slice_count()
         })

@@ -18,7 +18,7 @@ fn main() {
     for w in ssp_workloads::suite(SEED) {
         let base = simulate(&w.program, &io);
         let pf = simulate(&w.program, &stride);
-        let adapted = tool.run(&w.program);
+        let adapted = tool.run(&w.program).expect("adaptation succeeds");
         let ssp = simulate(&adapted.program, &io);
         let (a, b) =
             (base.cycles as f64 / pf.cycles as f64, base.cycles as f64 / ssp.cycles as f64);

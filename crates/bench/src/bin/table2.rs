@@ -13,7 +13,7 @@ fn main() {
     let ws = ssp_workloads::suite(SEED);
     let rows = parallel::map_indexed(&ws, parallel::threads(), |_, w| {
         let tool = PostPassTool::new(MachineConfig::in_order());
-        tool.run(&w.program).characteristics(w.name)
+        tool.run(&w.program).expect("adaptation succeeds").characteristics(w.name)
     });
     for c in rows {
         println!(

@@ -87,7 +87,7 @@ pub fn run_benchmark_configured(
     ooo: &MachineConfig,
 ) -> BenchmarkRun {
     let tool = PostPassTool::new(io.clone()).with_options(opts.clone());
-    let adapted = tool.run(&w.program);
+    let adapted = tool.run(&w.program).expect("adaptation succeeds");
     BenchmarkRun {
         name: w.name,
         base_io: simulate(&w.program, io),
@@ -125,7 +125,10 @@ pub fn run_suite_configured(
     workers: usize,
 ) -> Vec<BenchmarkRun> {
     let adapted = parallel::map_indexed(ws, workers, |_, w| {
-        PostPassTool::new(io.clone()).with_options(opts.clone()).run(&w.program)
+        PostPassTool::new(io.clone())
+            .with_options(opts.clone())
+            .run(&w.program)
+            .expect("adaptation succeeds")
     });
     // All simulations of the suite, flattened: workload-major, with the
     // four machine/binary combinations of `BenchmarkRun` per workload.

@@ -101,7 +101,7 @@ pub fn trace_row(
     ooo: &MachineConfig,
 ) -> TraceRow {
     let tool = PostPassTool::new(io.clone()).with_options(opts.clone());
-    let (adapted, tool_trace) = tool.run_traced(&w.program);
+    let (adapted, tool_trace) = tool.run_traced(&w.program).expect("adaptation succeeds");
     let targets = prefetch_targets(&adapted);
     let models = [("in_order", io), ("out_of_order", ooo)]
         .into_iter()
@@ -148,7 +148,7 @@ pub fn trace_rows_configured(
 ) -> Vec<TraceRow> {
     let adapted = parallel::map_indexed(ws, workers, |_, w| {
         let tool = PostPassTool::new(io.clone()).with_options(opts.clone());
-        let (adapted, trace) = tool.run_traced(&w.program);
+        let (adapted, trace) = tool.run_traced(&w.program).expect("adaptation succeeds");
         let targets = prefetch_targets(&adapted);
         (adapted, trace, targets)
     });

@@ -85,6 +85,9 @@ pub enum SkipReason {
     TooManyLiveIns(usize),
     /// The scheduled order was empty.
     EmptySlice,
+    /// The slicer rejected the load (e.g. the profiled root turned out
+    /// not to be a load instruction).
+    SliceFailed(ssp_slicing::SliceError),
 }
 
 /// Registers never mentioned in the function (safe scratch space for the

@@ -13,11 +13,39 @@ pub mod select;
 pub use emit::{EmitOptions, EmittedSlice, PendingStub, SkipReason};
 pub use select::{plan_for_load, plan_for_load_traced, SelectOptions, SlicePlan};
 
+use ssp_ir::verify::VerifyError;
 use ssp_ir::{InstTag, Program};
 use ssp_sim::{MachineConfig, Profile};
 use ssp_slicing::{SliceOptions, Slicer};
 use ssp_trace::{Stopwatch, ToolTrace};
 use ssp_trigger::TriggerPoint;
+use std::fmt;
+
+/// Why a whole adaptation failed.
+///
+/// Per-load problems (unusable slices, no scratch registers, too many
+/// live-ins) never surface here — they degrade into
+/// [`AdaptReport::skipped`] entries so one bad load cannot kill a batch
+/// run. `AdaptError` is reserved for failures that invalidate the whole
+/// output binary.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AdaptError {
+    /// The emitted binary failed re-verification. This is a bug in the
+    /// tool (not in the input program); the diagnostic is preserved so
+    /// fuzzing harnesses can report and minimize the offending case
+    /// instead of aborting the process.
+    EmitVerify(VerifyError),
+}
+
+impl fmt::Display for AdaptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdaptError::EmitVerify(e) => write!(f, "adapted binary failed verification: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AdaptError {}
 
 /// Options for the whole adaptation.
 #[derive(Clone, Debug)]
@@ -86,18 +114,16 @@ impl AdaptReport {
 /// Adapt `prog` for software-based speculative precomputation.
 ///
 /// Returns the enhanced binary and a report. The input program is not
-/// modified; the result is re-verified (structure + no stores in slices).
-///
-/// # Panics
-///
-/// Panics if the emitted binary fails verification — that would be a bug
-/// in the tool, not in the input.
+/// modified; the result is re-verified (structure + no stores in slices),
+/// and a verification failure is returned as [`AdaptError::EmitVerify`]
+/// rather than aborting the process. Per-load failures never abort the
+/// adaptation: they become [`AdaptReport::skipped`] entries.
 pub fn adapt(
     prog: &Program,
     profile: &Profile,
     mc: &MachineConfig,
     opts: &AdaptOptions,
-) -> (Program, AdaptReport) {
+) -> Result<(Program, AdaptReport), AdaptError> {
     adapt_traced(prog, profile, mc, opts, None)
 }
 
@@ -105,18 +131,14 @@ pub fn adapt(
 /// `sched`, `trigger`, and `codegen` phase spans accrue wall time and
 /// counters (slice sizes, SCC counts, triggers placed, live-ins per
 /// trigger, instructions added). With `trace == None` the behaviour and
-/// cost are exactly those of [`adapt`].
-///
-/// # Panics
-///
-/// Panics if the emitted binary fails verification, like [`adapt`].
+/// cost are exactly those of [`adapt`], including its error surface.
 pub fn adapt_traced(
     prog: &Program,
     profile: &Profile,
     mc: &MachineConfig,
     opts: &AdaptOptions,
     mut trace: Option<&mut ToolTrace>,
-) -> (Program, AdaptReport) {
+) -> Result<(Program, AdaptReport), AdaptError> {
     let mut report = AdaptReport {
         delinquent: profile.delinquent_loads(opts.coverage),
         ..AdaptReport::default()
@@ -140,8 +162,9 @@ pub fn adapt_traced(
             trace.as_deref_mut(),
         );
         match plan {
-            Some(plan) => plans.push(plan),
-            None => report.skipped.push((tag, SkipReason::EmptySlice)),
+            Ok(Some(plan)) => plans.push(plan),
+            Ok(None) => report.skipped.push((tag, SkipReason::EmptySlice)),
+            Err(e) => report.skipped.push((tag, SkipReason::SliceFailed(e))),
         }
     }
 
@@ -225,14 +248,14 @@ pub fn adapt_traced(
     }
     emit::insert_triggers(&mut out, work);
 
-    emit::verify_emitted(&out).expect("adapted binary must verify");
+    emit::verify_emitted(&out).map_err(AdaptError::EmitVerify)?;
     if let Some(t) = trace {
         t.add_wall("codegen", sw.map_or(0, |s| s.elapsed_nanos()));
         t.add("codegen", "slices_emitted", report.slices.len() as u64);
         t.add("codegen", "slices_skipped", report.skipped.len() as u64);
         t.add("codegen", "insts_added", (out.inst_count() - prog.inst_count()) as u64);
     }
-    (out, report)
+    Ok((out, report))
 }
 
 #[cfg(test)]
@@ -274,7 +297,7 @@ mod tests {
         let prog = pointer_chase(400);
         let mc = MachineConfig::in_order();
         let profile = ssp_sim::profile(&prog, &mc);
-        let (adapted, report) = adapt(&prog, &profile, &mc, &AdaptOptions::default());
+        let (adapted, report) = adapt(&prog, &profile, &mc, &AdaptOptions::default()).unwrap();
         assert!(!report.delinquent.is_empty());
         assert!(report.slice_count() >= 1, "skipped: {:?}", report.skipped);
         assert!(adapted.inst_count() > prog.inst_count());
@@ -289,7 +312,7 @@ mod tests {
         let prog = pointer_chase(400);
         let mc = MachineConfig::in_order();
         let profile = ssp_sim::profile(&prog, &mc);
-        let (adapted, report) = adapt(&prog, &profile, &mc, &AdaptOptions::default());
+        let (adapted, report) = adapt(&prog, &profile, &mc, &AdaptOptions::default()).unwrap();
         assert!(report.slice_count() >= 1);
         let base = simulate(&prog, &mc);
         let ssp = simulate(&adapted, &mc);
@@ -310,7 +333,7 @@ mod tests {
         let prog = pointer_chase(300);
         let mc = MachineConfig::in_order();
         let profile = ssp_sim::profile(&prog, &mc);
-        let (adapted, _) = adapt(&prog, &profile, &mc, &AdaptOptions::default());
+        let (adapted, _) = adapt(&prog, &profile, &mc, &AdaptOptions::default()).unwrap();
         let base = simulate(&prog, &mc.clone().with_memory_mode(MemoryMode::PerfectAll));
         let ssp = simulate(&adapted, &mc.clone().with_memory_mode(MemoryMode::PerfectAll));
         for (tag, stats) in &base.loads {
@@ -325,7 +348,7 @@ mod tests {
         let prog = pointer_chase(200);
         let mc = MachineConfig::in_order();
         let profile = ssp_sim::profile(&prog, &mc);
-        let (_, report) = adapt(&prog, &profile, &mc, &AdaptOptions::default());
+        let (_, report) = adapt(&prog, &profile, &mc, &AdaptOptions::default()).unwrap();
         assert_eq!(report.slice_count(), report.slices.len());
         assert!(report.average_size() > 0.0);
         assert!(report.average_live_ins() >= 1.0, "arc and K are live-ins");

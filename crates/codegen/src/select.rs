@@ -15,7 +15,7 @@ use ssp_sched::{
     spawn_copy_latency, ScheduleOptions, ScheduledSlice, SpModel,
 };
 use ssp_sim::{MachineConfig, Profile};
-use ssp_slicing::{RegionDepGraph, Slice, Slicer};
+use ssp_slicing::{RegionDepGraph, Slice, SliceError, Slicer};
 use ssp_trace::{Stopwatch, ToolTrace};
 
 /// Options controlling selection.
@@ -91,8 +91,9 @@ pub struct SlicePlan {
 }
 
 /// Walk the region chain for `root` and plan its precomputation.
-/// Returns `None` when no region yields a usable slice (e.g. every slice
-/// exceeds the size limit or recovers nothing).
+/// Returns `Ok(None)` when no region yields a usable slice (e.g. every
+/// slice exceeds the size limit or recovers nothing), and `Err` when the
+/// slicer rejects the root outright (e.g. it is not a load).
 pub fn plan_for_load(
     slicer: &mut Slicer<'_>,
     prog: &Program,
@@ -100,7 +101,7 @@ pub fn plan_for_load(
     mc: &MachineConfig,
     root: InstRef,
     opts: &SelectOptions,
-) -> Option<SlicePlan> {
+) -> Result<Option<SlicePlan>, SliceError> {
     plan_for_load_traced(slicer, prog, profile, mc, root, opts, None)
 }
 
@@ -117,7 +118,7 @@ pub fn plan_for_load_traced(
     root: InstRef,
     opts: &SelectOptions,
     mut trace: Option<&mut ToolTrace>,
-) -> Option<SlicePlan> {
+) -> Result<Option<SlicePlan>, SliceError> {
     let fid = root.func;
     // Candidate regions: innermost loop body outward, then the procedure.
     #[derive(Clone)]
@@ -147,16 +148,18 @@ pub fn plan_for_load_traced(
     }
     cands.truncate(opts.max_region_depth.max(1));
 
-    let lp = profile.loads.get(&prog.inst(root).tag)?;
+    let Some(lp) = profile.loads.get(&prog.inst(root).tag) else {
+        return Ok(None);
+    };
     if lp.accesses == 0 || lp.miss_cycles == 0 {
-        return None;
+        return Ok(None);
     }
     let avg_miss = lp.miss_cycles / lp.accesses;
 
     let mut best: Option<SlicePlan> = None;
     for cand in &cands {
         let sw = trace.is_some().then(Stopwatch::start);
-        let slice = slicer.slice_in_region(root, &cand.blocks);
+        let slice = slicer.slice_in_region(root, &cand.blocks)?;
         if let Some(t) = trace.as_deref_mut() {
             t.add_wall("slicing", sw.map_or(0, |s| s.elapsed_nanos()));
             t.add("slicing", "slices_extracted", 1);
@@ -284,7 +287,7 @@ pub fn plan_for_load_traced(
         let threshold = (opts.cutoff_pct * (avg_miss * trips) as f64) as u64;
         if reduced > threshold && reduced > 0 {
             // First (innermost) region clearing the cutoff wins.
-            return Some(plan);
+            return Ok(Some(plan));
         }
         let better = match &best {
             None => reduced > 0,
@@ -295,7 +298,7 @@ pub fn plan_for_load_traced(
             best = Some(plan);
         }
     }
-    best
+    Ok(best)
 }
 
 /// Re-derive the schedule and slack for a (possibly merged) slice against
@@ -381,6 +384,7 @@ mod tests {
         let mut slicer = Slicer::new(&prog, &profile, SliceOptions::default());
         let plan =
             plan_for_load(&mut slicer, &prog, &profile, &mc, root, &SelectOptions::default())
+                .expect("slicing succeeds")
                 .expect("a plan is found");
         assert_eq!(plan.model, SpModel::Chaining);
         assert!(plan.loop_id.is_some());
@@ -402,7 +406,7 @@ mod tests {
             min_slack: i64::MIN, // ablation mode: accept whatever basic SP gives
             ..Default::default()
         };
-        let plan = plan_for_load(&mut slicer, &prog, &profile, &mc, root, &opts).unwrap();
+        let plan = plan_for_load(&mut slicer, &prog, &profile, &mc, root, &opts).unwrap().unwrap();
         assert_eq!(plan.model, SpModel::Basic);
     }
 
@@ -414,6 +418,7 @@ mod tests {
         let mut slicer = Slicer::new(&prog, &profile, SliceOptions::default());
         let root = InstRef { func: prog.entry, block: body, idx: 2 };
         assert!(plan_for_load(&mut slicer, &prog, &profile, &mc, root, &SelectOptions::default())
+            .unwrap()
             .is_none());
     }
 
@@ -424,6 +429,6 @@ mod tests {
         let profile = ssp_sim::profile(&prog, &mc);
         let mut slicer = Slicer::new(&prog, &profile, SliceOptions::default());
         let opts = SelectOptions { max_slice_size: 1, ..Default::default() };
-        assert!(plan_for_load(&mut slicer, &prog, &profile, &mc, root, &opts).is_none());
+        assert!(plan_for_load(&mut slicer, &prog, &profile, &mc, root, &opts).unwrap().is_none());
     }
 }

@@ -30,7 +30,7 @@ fn chase(n: u64, use_value: bool) -> Program {
 fn adapt_default(prog: &Program) -> (Program, ssp_codegen::AdaptReport) {
     let mc = MachineConfig::in_order();
     let profile = ssp_sim::profile(prog, &mc);
-    adapt(prog, &profile, &mc, &AdaptOptions::default())
+    adapt(prog, &profile, &mc, &AdaptOptions::default()).expect("adaptation succeeds")
 }
 
 fn block_ops(prog: &Program, f: ssp_ir::FuncId, b: BlockId) -> Vec<&Op> {

@@ -45,6 +45,7 @@ fn schedule_matches_figure_5b() {
     let root = InstRef { func: prog.entry, block: body, idx: 2 };
     let plan =
         ssp_codegen::plan_for_load(&mut slicer, &prog, &profile, &mc, root, &Default::default())
+            .expect("the slice root is a load")
             .expect("mcf-like loop must be adaptable");
 
     assert_eq!(plan.model, ssp_sched::SpModel::Chaining);
@@ -73,7 +74,7 @@ fn adapted_pointer_chase_speedup_regression() {
     let prog = pointer_chase(400);
     let mc = MachineConfig::in_order();
     let profile = ssp_sim::profile(&prog, &mc);
-    let (adapted, report) = ssp_codegen::adapt(&prog, &profile, &mc, &Default::default());
+    let (adapted, report) = ssp_codegen::adapt(&prog, &profile, &mc, &Default::default()).unwrap();
     assert_eq!(report.slice_count(), 1, "overlapping slices merge into one");
     assert_eq!(report.slices[0].root_tags.len(), 2, "both loads covered");
     let base = simulate(&prog, &mc);

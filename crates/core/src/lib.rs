@@ -50,7 +50,7 @@
 //! let prog = pb.finish_with(main);
 //!
 //! let tool = PostPassTool::new(MachineConfig::in_order());
-//! let adapted = tool.run(&prog);
+//! let adapted = tool.run(&prog).expect("adaptation succeeds");
 //! assert!(adapted.report.slice_count() >= 1);
 //!
 //! // The SSP-enhanced binary is faster on the in-order machine.
@@ -69,7 +69,9 @@
 
 #![warn(missing_docs)]
 
-pub use ssp_codegen::{AdaptOptions, AdaptReport, EmitOptions, SelectOptions, SkipReason};
+pub use ssp_codegen::{
+    AdaptError, AdaptOptions, AdaptReport, EmitOptions, SelectOptions, SkipReason,
+};
 pub use ssp_ir::{Program, ProgramBuilder};
 pub use ssp_sched::{ScheduleOptions, SpModel};
 pub use ssp_sim::{
@@ -149,30 +151,38 @@ impl PostPassTool {
     }
 
     /// Profile `prog` and adapt it (the full two-pass flow of Figure 1).
-    pub fn run(&self, prog: &Program) -> AdaptedBinary {
+    ///
+    /// The whole pipeline is panic-free: per-load failures degrade into
+    /// [`AdaptReport::skipped`] entries, and an output that fails
+    /// re-verification is reported as [`AdaptError`].
+    pub fn run(&self, prog: &Program) -> Result<AdaptedBinary, AdaptError> {
         let profile = ssp_sim::profile(prog, &self.machine);
         self.run_with_profile(prog, profile)
     }
 
     /// Adapt `prog` using an existing profile (e.g. shared across
     /// machine models, as the paper does between in-order and OOO runs).
-    pub fn run_with_profile(&self, prog: &Program, profile: Profile) -> AdaptedBinary {
-        let (program, report) = ssp_codegen::adapt(prog, &profile, &self.machine, &self.options);
-        AdaptedBinary { program, report, profile }
+    pub fn run_with_profile(
+        &self,
+        prog: &Program,
+        profile: Profile,
+    ) -> Result<AdaptedBinary, AdaptError> {
+        let (program, report) = ssp_codegen::adapt(prog, &profile, &self.machine, &self.options)?;
+        Ok(AdaptedBinary { program, report, profile })
     }
 
     /// [`PostPassTool::run`] with tool-phase tracing: the returned
     /// [`ToolTrace`] holds one span per phase (`profile`, `slicing`,
     /// `sched`, `trigger`, `codegen`) with accumulated wall time and
     /// counters.
-    pub fn run_traced(&self, prog: &Program) -> (AdaptedBinary, ToolTrace) {
+    pub fn run_traced(&self, prog: &Program) -> Result<(AdaptedBinary, ToolTrace), AdaptError> {
         let mut trace = ToolTrace::standard();
         let sw = Stopwatch::start();
         let profile = ssp_sim::profile(prog, &self.machine);
         trace.add_wall("profile", sw.elapsed_nanos());
         trace.add("profile", "profiled_loads", profile.loads.len() as u64);
-        let adapted = self.run_with_profile_traced(prog, profile, &mut trace);
-        (adapted, trace)
+        let adapted = self.run_with_profile_traced(prog, profile, &mut trace)?;
+        Ok((adapted, trace))
     }
 
     /// [`PostPassTool::run_with_profile`] with tool-phase tracing
@@ -184,10 +194,10 @@ impl PostPassTool {
         prog: &Program,
         profile: Profile,
         trace: &mut ToolTrace,
-    ) -> AdaptedBinary {
+    ) -> Result<AdaptedBinary, AdaptError> {
         let (program, report) =
-            ssp_codegen::adapt_traced(prog, &profile, &self.machine, &self.options, Some(trace));
-        AdaptedBinary { program, report, profile }
+            ssp_codegen::adapt_traced(prog, &profile, &self.machine, &self.options, Some(trace))?;
+        Ok(AdaptedBinary { program, report, profile })
     }
 }
 
@@ -246,7 +256,7 @@ mod tests {
     fn end_to_end_tool_flow() {
         let prog = chase(300);
         let tool = PostPassTool::new(MachineConfig::in_order());
-        let adapted = tool.run(&prog);
+        let adapted = tool.run(&prog).unwrap();
         assert!(adapted.report.slice_count() >= 1);
         let ch = adapted.characteristics("chase");
         assert_eq!(ch.slices, adapted.report.slice_count());
@@ -260,11 +270,11 @@ mod tests {
     fn profile_reuse_between_models() {
         let prog = chase(200);
         let io = PostPassTool::new(MachineConfig::in_order());
-        let adapted_io = io.run(&prog);
+        let adapted_io = io.run(&prog).unwrap();
         // Same profile, different machine — the paper evaluates the same
         // binaries on both models.
         let ooo = PostPassTool::new(MachineConfig::out_of_order());
-        let adapted_ooo = ooo.run_with_profile(&prog, adapted_io.profile.clone());
+        let adapted_ooo = ooo.run_with_profile(&prog, adapted_io.profile.clone()).unwrap();
         assert_eq!(
             adapted_io.report.slice_count(),
             adapted_ooo.report.slice_count(),
@@ -276,7 +286,7 @@ mod tests {
     fn traced_run_reports_phases_and_timeliness() {
         let prog = chase(300);
         let tool = PostPassTool::new(MachineConfig::in_order());
-        let (adapted, trace) = tool.run_traced(&prog);
+        let (adapted, trace) = tool.run_traced(&prog).unwrap();
         assert!(adapted.report.slice_count() >= 1);
         // Every standard phase is present, in order, and the ones the
         // pipeline exercised carry counters.
@@ -314,7 +324,7 @@ mod tests {
         let mut opts = AdaptOptions::default();
         opts.select.force_model = Some(SpModel::Basic);
         let tool = PostPassTool::new(MachineConfig::in_order()).with_options(opts);
-        let adapted = tool.run(&prog);
+        let adapted = tool.run(&prog).unwrap();
         assert!(adapted.report.slices.iter().all(|s| s.model == SpModel::Basic));
     }
 }

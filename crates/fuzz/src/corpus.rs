@@ -1,0 +1,54 @@
+//! The regression-corpus text format.
+//!
+//! A corpus file is plain text: one [`CaseSpec`] line per entry, blank
+//! lines and `#` comments ignored. Entries are written by the shrinker
+//! when the oracle finds a violation and replayed by the tier-1
+//! regression test, so every bug the fuzzer ever caught stays caught.
+
+use crate::spec::{CaseSpec, SpecError};
+use std::fmt::Write as _;
+
+/// Parse a corpus file's contents. Errors carry the 1-based line number.
+pub fn parse(text: &str) -> Result<Vec<CaseSpec>, SpecError> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let spec = CaseSpec::parse(line)
+            .map_err(|e| SpecError(format!("line {}: {}", lineno + 1, e.0)))?;
+        out.push(spec);
+    }
+    Ok(out)
+}
+
+/// Render specs as a corpus file body (one line each, trailing newline).
+pub fn format(specs: &[CaseSpec]) -> String {
+    let mut out = String::new();
+    for s in specs {
+        writeln!(out, "{s}").expect("writing to a String cannot fail");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::test_runner::TestRng;
+
+    #[test]
+    fn roundtrip_with_comments_and_blanks() {
+        let mut rng = TestRng::from_seed(13);
+        let specs: Vec<CaseSpec> = (0..5).map(|_| CaseSpec::random(&mut rng)).collect();
+        let mut text = String::from("# regression corpus\n\n");
+        text.push_str(&format(&specs));
+        assert_eq!(parse(&text).unwrap(), specs);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("# fine\nseed=1\nnot a spec\n").unwrap_err();
+        assert!(err.0.contains("line 3"), "{err}");
+    }
+}

@@ -1,0 +1,192 @@
+//! Seeded random program generator.
+//!
+//! [`build`] turns a [`CaseSpec`] into a complete [`Program`]: a
+//! pointer-chasing loop over a pseudo-randomly scattered heap — the
+//! shape SSP targets — optionally decorated with a branch diamond, a
+//! helper call, main-thread stores, and extra arithmetic. Every program
+//! is terminating by construction (the loop induction variable strictly
+//! increases toward a fixed bound) and free of wild control transfers,
+//! so differential runs always end in a clean trap well under the
+//! oracle's cycle cap.
+//!
+//! [`generate`] is the verified entry point the oracle uses: it builds
+//! the program and passes it through [`ssp_ir::verify`] before handing
+//! it out.
+
+use crate::spec::CaseSpec;
+use proptest::test_runner::TestRng;
+use ssp_ir::reg::conv;
+use ssp_ir::verify::VerifyError;
+use ssp_ir::{AluKind, CmpKind, Operand, Program, ProgramBuilder, Reg};
+
+/// Base of the arc (first-level pointer) table.
+pub const ARC_BASE: u64 = 0x0100_0000;
+/// Base of the first node region (second-level pointers).
+pub const NODE_BASE: u64 = 0x0800_0000;
+/// Base of the second node region (leaf payloads).
+pub const NODE2_BASE: u64 = 0x0C00_0000;
+/// Base of the output region main-thread stores write.
+pub const OUT_BASE: u64 = 0x2000_0000;
+
+// Loop state lives in callee-saved registers (r64..) so values stay
+// valid across the optional helper call under the modeled convention.
+const ARC: Reg = Reg(64);
+const END: Reg = Reg(65);
+const T: Reg = Reg(66);
+const U: Reg = Reg(67);
+const V: Reg = Reg(68);
+const W: Reg = Reg(69);
+const SUM: Reg = Reg(70);
+const OUTP: Reg = Reg(71);
+const P: Reg = Reg(72);
+const P2: Reg = Reg(73);
+// Helper-internal temporary: scratch, clobbered by the call anyway.
+const HX: Reg = Reg(33);
+
+/// Build the program described by `spec`. Deterministic in the spec.
+pub fn build(spec: &CaseSpec) -> Program {
+    let mut rng = TestRng::from_seed(spec.seed);
+    let n = spec.chase.max(crate::spec::MIN_CHASE);
+    let mut pb = ProgramBuilder::new();
+
+    // Scattered heap: arcs -> nodes -> leaf nodes, each level a random
+    // permutation-ish scatter so consecutive iterations miss.
+    for i in 0..n {
+        pb.data_word(ARC_BASE + 64 * i, NODE_BASE + 64 * rng.below(n));
+    }
+    for j in 0..n {
+        pb.data_word(NODE_BASE + 64 * j, NODE2_BASE + 64 * rng.below(n));
+    }
+    for j in 0..n {
+        pb.data_word(NODE2_BASE + 64 * j, 1 + rng.below(1 << 20));
+    }
+
+    // Optional helper: convention-correct (argument in ARG0, result in
+    // RV, internals in scratch registers). Reloads the arc slot and
+    // biases the value, giving the slicer an interprocedural chain.
+    let helper_bias = 1 + rng.below(64) as i64;
+    let helper = spec.call.then(|| {
+        let mut h = pb.function("helper");
+        let he = h.entry_block();
+        h.at(he).ld(HX, conv::ARG0, 0).add(conv::RV, HX, helper_bias).ret();
+        pb.install(h.finish())
+    });
+
+    let mut f = pb.function("main");
+    let entry = f.entry_block();
+    let body = f.new_block();
+    let (dl, dr, cont) = if spec.diamond {
+        (Some(f.new_block()), Some(f.new_block()), Some(f.new_block()))
+    } else {
+        (None, None, None)
+    };
+    let exit = f.new_block();
+
+    let mut c = f.at(entry).movi(ARC, ARC_BASE as i64).movi(END, (ARC_BASE + 64 * n) as i64);
+    c = c.movi(SUM, rng.below(1 << 16) as i64);
+    if spec.stores {
+        c = c.movi(OUTP, OUT_BASE as i64);
+    }
+    c.br(body);
+
+    // Loop body: t = arc; chase `loads` levels; accumulate.
+    let mut c = f.at(body).mov(T, ARC).ld(U, T, 0);
+    let mut last = U;
+    if spec.loads >= 2 {
+        c = c.ld(V, last, 0);
+        last = V;
+    }
+    if spec.loads >= 3 {
+        c = c.ld(W, last, 0);
+        last = W;
+    }
+    c = c.add(SUM, SUM, Operand::Reg(last));
+    for _ in 0..spec.arith {
+        c = match rng.below(4) {
+            0 => c.add(SUM, SUM, 1 + rng.below(256) as i64),
+            1 => c.sub(SUM, SUM, Operand::Reg(last)),
+            2 => c.mul(SUM, SUM, 3 + rng.below(13) as i64),
+            _ => c.shl(SUM, SUM, 1 + rng.below(3) as i64),
+        };
+    }
+
+    // Data-dependent diamond: both arms rejoin, so termination is
+    // unaffected; the predicate depends on the chased value, exercising
+    // the branch predictors differently baseline-vs-adapted.
+    if let (Some(dl), Some(dr), Some(cont)) = (dl, dr, cont) {
+        let pivot = (NODE2_BASE + 64 * (n / 2)) as i64;
+        c.cmp(CmpKind::Lt, P2, last, pivot).br_cond(P2, dl, dr);
+        let (ka, kb) = (1 + rng.below(32) as i64, 1 + rng.below(32) as i64);
+        f.at(dl).add(SUM, SUM, ka).br(cont);
+        f.at(dr).alu(AluKind::Sub, SUM, SUM, Operand::Imm(kb)).br(cont);
+        c = f.at(cont);
+    }
+
+    if let Some(h) = helper {
+        c = c.mov(conv::ARG0, T).call(h, 1).add(SUM, SUM, Operand::Reg(conv::RV));
+    }
+    if spec.stores {
+        c = c.st(SUM, OUTP, 0).add(OUTP, OUTP, 8);
+    }
+    c.add(ARC, T, 64).cmp(CmpKind::Lt, P, ARC, Operand::Reg(END)).br_cond(P, body, exit);
+
+    f.at(exit).st(SUM, conv::ZERO, (OUT_BASE + 8 * (n + 1)) as i64).halt();
+    let main = f.finish();
+    pb.finish_with(main)
+}
+
+/// [`build`], then [`ssp_ir::verify::verify`]: the oracle's entry point.
+/// A verifier error here is a generator bug, reported (not panicked) so
+/// a fuzz batch can flag the case and keep running.
+pub fn generate(spec: &CaseSpec) -> Result<Program, VerifyError> {
+    let prog = build(spec);
+    ssp_ir::verify::verify(&prog)?;
+    Ok(prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{CaseSpec, MAX_CHASE, MIN_CHASE};
+
+    #[test]
+    fn generated_programs_verify_across_knob_space() {
+        let mut rng = TestRng::from_seed(2002);
+        for _ in 0..64 {
+            let spec = CaseSpec::random(&mut rng);
+            generate(&spec).unwrap_or_else(|e| panic!("{spec} fails verification: {e}"));
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic_in_the_spec() {
+        let spec =
+            CaseSpec::parse("seed=99 chase=32 loads=3 diamond=1 call=1 stores=1 arith=4").unwrap();
+        assert_eq!(build(&spec), build(&spec));
+    }
+
+    #[test]
+    fn knobs_change_the_program() {
+        let a = CaseSpec::parse("seed=5 chase=16 loads=1").unwrap();
+        let mut b = a.clone();
+        b.loads = 2;
+        assert_ne!(build(&a), build(&b));
+    }
+
+    #[test]
+    fn every_generated_program_terminates_quickly() {
+        use ssp_sim::{simulate, MachineConfig, TrapKind};
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..8 {
+            let mut spec = CaseSpec::random(&mut rng);
+            spec.chase = spec.chase.clamp(MIN_CHASE, MAX_CHASE.min(48));
+            let prog = generate(&spec).unwrap();
+            let mut cfg = MachineConfig::in_order();
+            cfg.max_cycles = 2_000_000;
+            let r = simulate(&prog, &cfg);
+            assert!(r.halted, "{spec} did not halt in {} cycles", cfg.max_cycles);
+            let (_, snap) = ssp_sim::simulate_snapshot(&prog, &cfg, prog.next_tag);
+            assert_eq!(snap.trap, TrapKind::Halted);
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! The differential adaptation oracle.
+//!
+//! [`run_case`] generates one program from a [`CaseSpec`], adapts it with
+//! the post-pass tool, and runs baseline and adapted binaries on *both*
+//! machine models ([`MachineConfig::in_order`] and
+//! [`MachineConfig::out_of_order`]), asserting the adaptation is
+//! semantically transparent:
+//!
+//! * identical final architectural state — registers the original
+//!   program mentions, the memory image, and the trap status;
+//! * an identical main-thread committed-instruction stream once
+//!   tool-synthesized instructions (fresh tags) are filtered out;
+//! * the SSP invariants — speculative threads execute no stores to
+//!   program-visible memory, every spawned thread is killed or still in
+//!   flight at the end, and no stub is reachable from more than one
+//!   static trigger.
+//!
+//! Nothing in this path panics on a bad case: generator, tool, and
+//! checker failures all become [`Violation`]s in the returned
+//! [`CaseResult`], so a batch run always completes and reports.
+
+use crate::gen;
+use crate::spec::CaseSpec;
+use ssp_core::PostPassTool;
+use ssp_ir::reg::{conv, NUM_REGS};
+use ssp_ir::{Op, Program};
+use ssp_sim::{simulate_snapshot, ArchSnapshot, MachineConfig, SimResult, TrapKind};
+use std::collections::HashMap;
+
+/// Oracle knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct OracleConfig {
+    /// Cycle cap for every simulation. Generated programs finish far
+    /// below this; a baseline that still caps is reported separately
+    /// (not as a violation), while an adapted binary that caps when its
+    /// baseline halted is an equivalence violation.
+    pub max_cycles: u64,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig { max_cycles: 2_000_000 }
+    }
+}
+
+/// One equivalence or invariant failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Violation {
+    /// Stable machine-readable kind (e.g. `reg-mismatch`).
+    pub kind: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+/// How one case ended.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CaseOutcome {
+    /// All checks passed on both machine models.
+    Pass,
+    /// A baseline run hit the cycle cap, so equivalence could not be
+    /// evaluated. Counted separately: not a pass, not a violation.
+    BaselineCapped,
+    /// At least one check failed.
+    Violations(Vec<Violation>),
+}
+
+/// The oracle's verdict on one case.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CaseResult {
+    /// The case, in its reproducible one-line form.
+    pub spec: CaseSpec,
+    /// Verdict.
+    pub outcome: CaseOutcome,
+    /// Slices the tool emitted (0 when adaptation failed early).
+    pub slices: usize,
+    /// Speculative threads spawned across the adapted runs.
+    pub threads_spawned: u64,
+}
+
+impl CaseResult {
+    fn failed(spec: &CaseSpec, kind: &'static str, detail: String) -> Self {
+        CaseResult {
+            spec: spec.clone(),
+            outcome: CaseOutcome::Violations(vec![Violation { kind, detail }]),
+            slices: 0,
+            threads_spawned: 0,
+        }
+    }
+}
+
+/// Registers the program mentions (reads or writes) anywhere, plus the
+/// stack pointer the engine initializes. Final-state comparison is
+/// restricted to these: stub scratch registers are picked from the
+/// never-mentioned set and legitimately differ after adaptation.
+pub fn mentioned_regs(prog: &Program) -> Vec<bool> {
+    let mut m = vec![false; NUM_REGS];
+    m[conv::SP.index()] = true;
+    for (_, f) in prog.iter_funcs() {
+        for (_, b) in f.iter_blocks() {
+            for inst in &b.insts {
+                if let Some(d) = inst.op.def() {
+                    m[d.index()] = true;
+                }
+                inst.op.for_each_use(|r| m[r.index()] = true);
+            }
+        }
+    }
+    m
+}
+
+/// Static SSP invariant: no stub block is the target of more than one
+/// `chk.c`. A shared stub would let one hot path fire another's trigger,
+/// breaking the one-trigger-per-hot-path discipline.
+fn check_single_trigger(adapted: &Program, out: &mut Vec<Violation>) {
+    for (fid, f) in adapted.iter_funcs() {
+        let mut counts: HashMap<u32, u32> = HashMap::new();
+        for (_, b) in f.iter_blocks() {
+            for inst in &b.insts {
+                if let Op::ChkC { stub } = inst.op {
+                    *counts.entry(stub.0).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut dups: Vec<(u32, u32)> = counts.into_iter().filter(|&(_, c)| c > 1).collect();
+        dups.sort_unstable();
+        for (stub, c) in dups {
+            out.push(Violation {
+                kind: "multi-trigger",
+                detail: format!("{fid}: stub block b{stub} targeted by {c} chk.c triggers"),
+            });
+        }
+    }
+}
+
+/// Compare one baseline/adapted snapshot pair on one machine model.
+fn check_model(
+    model: &str,
+    base: &ArchSnapshot,
+    adapted: &ArchSnapshot,
+    adapted_res: &SimResult,
+    mentioned: &[bool],
+    out: &mut Vec<Violation>,
+) {
+    if adapted.trap != base.trap {
+        let kind =
+            if adapted.trap == TrapKind::CycleCap { "timeout-divergence" } else { "trap-mismatch" };
+        out.push(Violation {
+            kind,
+            detail: format!(
+                "{model}: baseline ended {} but adapted ended {}",
+                base.trap.name(),
+                adapted.trap.name()
+            ),
+        });
+    }
+    if (adapted.commit_digest, adapted.commit_len) != (base.commit_digest, base.commit_len) {
+        out.push(Violation {
+            kind: "commit-mismatch",
+            detail: format!(
+                "{model}: main-thread committed stream diverged \
+                 (baseline {} insts digest {:#x}, adapted {} insts digest {:#x})",
+                base.commit_len, base.commit_digest, adapted.commit_len, adapted.commit_digest
+            ),
+        });
+    }
+    for (i, m) in mentioned.iter().enumerate() {
+        if *m && adapted.regs[i] != base.regs[i] {
+            out.push(Violation {
+                kind: "reg-mismatch",
+                detail: format!(
+                    "{model}: r{i} = {:#x} baseline vs {:#x} adapted",
+                    base.regs[i], adapted.regs[i]
+                ),
+            });
+        }
+    }
+    if adapted.mem_digest != base.mem_digest {
+        out.push(Violation {
+            kind: "mem-mismatch",
+            detail: format!(
+                "{model}: memory digest {:#x} baseline vs {:#x} adapted",
+                base.mem_digest, adapted.mem_digest
+            ),
+        });
+    }
+    if adapted.spec_store_attempts != 0 {
+        out.push(Violation {
+            kind: "spec-store",
+            detail: format!(
+                "{model}: speculative threads attempted {} stores",
+                adapted.spec_store_attempts
+            ),
+        });
+    }
+    if !adapted.spawns_balanced(adapted_res.threads_spawned) {
+        out.push(Violation {
+            kind: "spawn-leak",
+            detail: format!(
+                "{model}: {} threads spawned but {} killed + {} live at end",
+                adapted_res.threads_spawned, adapted.spec_kills, adapted.spec_live_at_end
+            ),
+        });
+    }
+}
+
+/// Run the full differential check for one case.
+pub fn run_case(spec: &CaseSpec, ocfg: &OracleConfig) -> CaseResult {
+    let prog = match gen::generate(spec) {
+        Ok(p) => p,
+        Err(e) => return CaseResult::failed(spec, "generate-verify", e.to_string()),
+    };
+    let bound = prog.next_tag;
+    let mut io = MachineConfig::in_order();
+    io.max_cycles = ocfg.max_cycles;
+    let mut ooo = MachineConfig::out_of_order();
+    ooo.max_cycles = ocfg.max_cycles;
+
+    let (_, base_io) = simulate_snapshot(&prog, &io, bound);
+    let (_, base_ooo) = simulate_snapshot(&prog, &ooo, bound);
+    if base_io.trap == TrapKind::CycleCap || base_ooo.trap == TrapKind::CycleCap {
+        return CaseResult {
+            spec: spec.clone(),
+            outcome: CaseOutcome::BaselineCapped,
+            slices: 0,
+            threads_spawned: 0,
+        };
+    }
+
+    // Adapt once against the in-order profile (as the paper does) and
+    // check the same binary on both models.
+    let adapted = match PostPassTool::new(io.clone()).run(&prog) {
+        Ok(a) => a,
+        Err(e) => return CaseResult::failed(spec, "adapt-error", e.to_string()),
+    };
+
+    let mut violations = Vec::new();
+    if let Err(e) = ssp_ir::verify::verify_speculative(&adapted.program) {
+        violations.push(Violation { kind: "store-in-slice", detail: e.to_string() });
+    }
+    check_single_trigger(&adapted.program, &mut violations);
+
+    let mentioned = mentioned_regs(&prog);
+    let (a_io_res, a_io) = simulate_snapshot(&adapted.program, &io, bound);
+    let (a_ooo_res, a_ooo) = simulate_snapshot(&adapted.program, &ooo, bound);
+    check_model("in-order", &base_io, &a_io, &a_io_res, &mentioned, &mut violations);
+    check_model("out-of-order", &base_ooo, &a_ooo, &a_ooo_res, &mentioned, &mut violations);
+
+    CaseResult {
+        spec: spec.clone(),
+        outcome: if violations.is_empty() {
+            CaseOutcome::Pass
+        } else {
+            CaseOutcome::Violations(violations)
+        },
+        slices: adapted.report.slice_count(),
+        threads_spawned: a_io_res.threads_spawned + a_ooo_res.threads_spawned,
+    }
+}
+
+/// Deterministic aggregate over a batch of [`CaseResult`]s, in input
+/// order. Rendering is plain manual JSON so the summary is byte-stable
+/// across worker counts and runs.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Summary {
+    /// Total cases evaluated.
+    pub cases: usize,
+    /// Cases with every check green.
+    pub passed: usize,
+    /// Cases whose baseline hit the cycle cap (equivalence skipped).
+    pub baseline_capped: usize,
+    /// Cases with at least one violation.
+    pub violations: usize,
+    /// Slices emitted across all cases.
+    pub slices_emitted: u64,
+    /// Speculative threads spawned across all adapted runs.
+    pub threads_spawned: u64,
+    /// One line per violating case: the spec plus its violation kinds.
+    pub failures: Vec<(String, Vec<String>)>,
+}
+
+/// Fold a batch (in input order) into a [`Summary`].
+pub fn summarize<'a>(results: impl IntoIterator<Item = &'a CaseResult>) -> Summary {
+    let mut s = Summary::default();
+    for r in results {
+        s.cases += 1;
+        s.slices_emitted += r.slices as u64;
+        s.threads_spawned += r.threads_spawned;
+        match &r.outcome {
+            CaseOutcome::Pass => s.passed += 1,
+            CaseOutcome::BaselineCapped => s.baseline_capped += 1,
+            CaseOutcome::Violations(vs) => {
+                s.violations += 1;
+                let mut kinds: Vec<String> = vs.iter().map(|v| v.kind.to_owned()).collect();
+                kinds.dedup();
+                s.failures.push((r.spec.to_string(), kinds));
+            }
+        }
+    }
+    s
+}
+
+impl Summary {
+    /// Render as deterministic JSON (stable field order, no timestamps,
+    /// no float formatting) so batch output is byte-comparable.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"cases\": {},\n", self.cases));
+        out.push_str(&format!("  \"passed\": {},\n", self.passed));
+        out.push_str(&format!("  \"baseline_capped\": {},\n", self.baseline_capped));
+        out.push_str(&format!("  \"violations\": {},\n", self.violations));
+        out.push_str(&format!("  \"slices_emitted\": {},\n", self.slices_emitted));
+        out.push_str(&format!("  \"threads_spawned\": {},\n", self.threads_spawned));
+        out.push_str("  \"failures\": [");
+        for (i, (spec, kinds)) in self.failures.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"spec\": \"");
+            out.push_str(spec);
+            out.push_str("\", \"kinds\": [");
+            for (j, k) in kinds.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push('"');
+                out.push_str(k);
+                out.push('"');
+            }
+            out.push_str("]}");
+        }
+        if !self.failures.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::test_runner::TestRng;
+
+    #[test]
+    fn a_plain_chase_case_passes() {
+        let spec = CaseSpec::parse("seed=1 chase=48 loads=2").unwrap();
+        let r = run_case(&spec, &OracleConfig::default());
+        assert_eq!(r.outcome, CaseOutcome::Pass, "{:?}", r.outcome);
+    }
+
+    #[test]
+    fn decorated_cases_pass_too() {
+        let spec =
+            CaseSpec::parse("seed=3 chase=32 loads=3 diamond=1 call=1 stores=1 arith=3").unwrap();
+        let r = run_case(&spec, &OracleConfig::default());
+        assert_eq!(r.outcome, CaseOutcome::Pass, "{:?}", r.outcome);
+    }
+
+    #[test]
+    fn summary_json_is_deterministic_and_counts_add_up() {
+        let mut rng = TestRng::from_seed(4);
+        let specs: Vec<CaseSpec> = (0..6)
+            .map(|_| {
+                let mut s = CaseSpec::random(&mut rng);
+                s.chase = s.chase.min(24);
+                s
+            })
+            .collect();
+        let cfg = OracleConfig::default();
+        let results: Vec<CaseResult> = specs.iter().map(|s| run_case(s, &cfg)).collect();
+        let a = summarize(&results);
+        let b = summarize(&results);
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.cases, 6);
+        assert_eq!(a.passed + a.baseline_capped + a.violations, a.cases);
+    }
+
+    #[test]
+    fn mentioned_regs_are_a_strict_subset() {
+        let spec = CaseSpec::parse("seed=8 chase=8 loads=1").unwrap();
+        let prog = gen::generate(&spec).unwrap();
+        let m = mentioned_regs(&prog);
+        let count = m.iter().filter(|&&x| x).count();
+        assert!(count > 4, "loop state is mentioned");
+        assert!(count < NUM_REGS / 2, "plenty of scratch room remains");
+    }
+}

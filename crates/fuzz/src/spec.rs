@@ -1,0 +1,157 @@
+//! Case specifications: the scalar knobs a fuzz case is derived from.
+//!
+//! A case is never stored as IR. It is stored as a [`CaseSpec`] — a seed
+//! plus size/shape knobs — and the generator rebuilds the identical
+//! program from it on demand. That makes every corpus entry a one-line,
+//! human-editable reproducer, and lets the shrinker work on a handful of
+//! scalars instead of on program text.
+
+use proptest::test_runner::TestRng;
+use std::fmt;
+
+/// Smallest pointer-chase table the generator accepts (below this the
+/// loop is too short to profile any load as delinquent, and shrinking
+/// stops being informative).
+pub const MIN_CHASE: u64 = 4;
+
+/// Largest pointer-chase table [`CaseSpec::random`] will pick. (Parsing
+/// accepts larger values; this only bounds generation so a fuzz batch's
+/// runtime stays predictable.)
+pub const MAX_CHASE: u64 = 192;
+
+/// The knobs one fuzz case is generated from. See [`crate::gen::build`]
+/// for what each knob turns on in the generated program.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CaseSpec {
+    /// Seed for the case's private RNG stream (data-image scatter,
+    /// constants, ALU kinds).
+    pub seed: u64,
+    /// Pointer-chase table length = loop trip count.
+    pub chase: u64,
+    /// Pointer-chase depth per iteration, 1..=3 dependent loads.
+    pub loads: u8,
+    /// Include a data-dependent branch diamond in the loop body.
+    pub diamond: bool,
+    /// Include a helper-function call (convention-correct: args in
+    /// `ARG0`, result in `RV`) in the loop body.
+    pub call: bool,
+    /// Include stores to an output region from the main thread.
+    pub stores: bool,
+    /// Number of extra ALU instructions mixed into the accumulator.
+    pub arith: u8,
+}
+
+impl CaseSpec {
+    /// Draw a random spec from `rng`. The embedded `seed` is drawn from
+    /// the same stream, so a batch driver only needs one master RNG.
+    pub fn random(rng: &mut TestRng) -> Self {
+        CaseSpec {
+            seed: rng.next_u64(),
+            chase: MIN_CHASE + rng.below(MAX_CHASE - MIN_CHASE + 1),
+            loads: 1 + rng.below(3) as u8,
+            diamond: rng.below(2) == 1,
+            call: rng.below(2) == 1,
+            stores: rng.below(2) == 1,
+            arith: rng.below(5) as u8,
+        }
+    }
+
+    /// Parse the one-line `key=value` form produced by `Display`.
+    /// Unknown keys are rejected; missing keys take the smallest value
+    /// (so hand-written corpus lines can stay terse).
+    pub fn parse(line: &str) -> Result<Self, SpecError> {
+        let mut spec = CaseSpec {
+            seed: 0,
+            chase: MIN_CHASE,
+            loads: 1,
+            diamond: false,
+            call: false,
+            stores: false,
+            arith: 0,
+        };
+        for field in line.split_whitespace() {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| SpecError(format!("field {field:?} is not key=value")))?;
+            let num = |v: &str| {
+                v.parse::<u64>().map_err(|_| SpecError(format!("bad value for {key}: {v:?}")))
+            };
+            match key {
+                "seed" => spec.seed = num(value)?,
+                "chase" => spec.chase = num(value)?.max(MIN_CHASE),
+                "loads" => spec.loads = (num(value)?.clamp(1, 3)) as u8,
+                "diamond" => spec.diamond = num(value)? != 0,
+                "call" => spec.call = num(value)? != 0,
+                "stores" => spec.stores = num(value)? != 0,
+                "arith" => spec.arith = (num(value)?.min(8)) as u8,
+                _ => return Err(SpecError(format!("unknown key {key:?}"))),
+            }
+        }
+        Ok(spec)
+    }
+}
+
+impl fmt::Display for CaseSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed={} chase={} loads={} diamond={} call={} stores={} arith={}",
+            self.seed,
+            self.chase,
+            self.loads,
+            u8::from(self.diamond),
+            u8::from(self.call),
+            u8::from(self.stores),
+            self.arith,
+        )
+    }
+}
+
+/// A malformed spec line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SpecError(pub String);
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad case spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..100 {
+            let s = CaseSpec::random(&mut rng);
+            let back = CaseSpec::parse(&s.to_string()).unwrap();
+            assert_eq!(s, back);
+        }
+    }
+
+    #[test]
+    fn parse_applies_floors_and_rejects_junk() {
+        let s = CaseSpec::parse("seed=3 chase=1 loads=9").unwrap();
+        assert_eq!(s.chase, MIN_CHASE);
+        assert_eq!(s.loads, 3);
+        assert!(!s.diamond && !s.call && !s.stores && s.arith == 0);
+        assert!(CaseSpec::parse("seed").is_err());
+        assert!(CaseSpec::parse("wat=1").is_err());
+        assert!(CaseSpec::parse("seed=xyz").is_err());
+    }
+
+    #[test]
+    fn random_respects_bounds() {
+        let mut rng = TestRng::from_seed(11);
+        for _ in 0..200 {
+            let s = CaseSpec::random(&mut rng);
+            assert!((MIN_CHASE..=MAX_CHASE).contains(&s.chase));
+            assert!((1..=3).contains(&s.loads));
+            assert!(s.arith <= 4);
+        }
+    }
+}

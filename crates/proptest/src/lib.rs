@@ -6,9 +6,12 @@
 //! default-off `heavy-tests` feature) with zero external dependencies.
 //! It generates random values from deterministic per-test xorshift64*
 //! streams and runs the test body for `ProptestConfig::cases` cases.
-//! There is no shrinking: a failing case panics with the generated inputs
-//! left to the assertion message.
+//! Strategies have no value trees, so a failing `proptest!` case panics
+//! with the generated inputs left to the assertion message; seeded
+//! fuzzers that describe each case by scalar knobs can instead minimize
+//! failures with the [`shrink`] module's driver.
 
+pub mod shrink;
 pub mod strategy;
 pub mod test_runner;
 

@@ -1,0 +1,102 @@
+//! Minimal shrinking support.
+//!
+//! The shim's strategies have no value trees, so shrinking works on the
+//! *case description* instead: a failing case is re-derived from a small
+//! set of scalar knobs (a seed plus size parameters), and [`minimize`]
+//! drives those knobs toward their minima while the failure persists.
+//! That is exactly what seeded fuzzers need — the shrunk knobs stay
+//! reproducible, unlike a shrunk opaque value.
+
+/// Candidate smaller values for one scalar knob: its minimum first, then
+/// binary steps from `min` toward `value`, then `value - 1`. Empty when
+/// the knob is already minimal.
+///
+/// The ordering matters: [`minimize`] tries candidates in order and
+/// restarts on the first that still fails, so putting the most aggressive
+/// reductions first gives the classic "try zero, then halve the distance"
+/// shrink schedule in O(log n) rounds.
+pub fn scalar_candidates(value: u64, min: u64) -> Vec<u64> {
+    if value <= min {
+        return Vec::new();
+    }
+    let mut out = vec![min];
+    let mut delta = (value - min) / 2;
+    while delta > 0 {
+        let c = value - delta;
+        if c != min && out.last() != Some(&c) {
+            out.push(c);
+        }
+        delta /= 2;
+    }
+    if out.last() != Some(&(value - 1)) && value - 1 != min {
+        out.push(value - 1);
+    }
+    out
+}
+
+/// Greedy fixed-point shrink driver.
+///
+/// Starting from a value known to fail (`fails(&start)` must be true),
+/// repeatedly asks `candidates` for simpler variants and moves to the
+/// first one that still fails, until no candidate fails. `candidates`
+/// should return variants ordered most-aggressive-first (see
+/// [`scalar_candidates`]).
+///
+/// Returns the minimized value together with the number of `fails`
+/// evaluations spent (useful for reporting and for capping shrink cost
+/// upstream: `candidates` can return fewer options as the count grows).
+pub fn minimize<T, C, F>(start: T, candidates: C, mut fails: F) -> (T, u64)
+where
+    C: Fn(&T) -> Vec<T>,
+    F: FnMut(&T) -> bool,
+{
+    let mut cur = start;
+    let mut evals = 0u64;
+    'outer: loop {
+        for cand in candidates(&cur) {
+            evals += 1;
+            if fails(&cand) {
+                cur = cand;
+                continue 'outer;
+            }
+        }
+        return (cur, evals);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_candidates_shrink_toward_min() {
+        assert_eq!(scalar_candidates(5, 5), Vec::<u64>::new());
+        let c = scalar_candidates(100, 2);
+        assert_eq!(c[0], 2, "minimum is tried first");
+        assert!(c.windows(2).all(|w| w[0] < w[1]), "monotone schedule: {c:?}");
+        assert_eq!(*c.last().unwrap(), 99, "off-by-one is tried last");
+        assert!(c.iter().all(|&v| (2..100).contains(&v)));
+    }
+
+    #[test]
+    fn minimize_finds_smallest_failing_scalar() {
+        // Failure iff value >= 37; minimization from 1000 must land on 37.
+        let (min, evals) = minimize(1000u64, |&v| scalar_candidates(v, 0), |&v| v >= 37);
+        assert_eq!(min, 37);
+        assert!(evals < 200, "log-ish number of probes, got {evals}");
+    }
+
+    #[test]
+    fn minimize_handles_multi_knob_values() {
+        // Two knobs; failure needs a >= 3 regardless of b. Shrinking must
+        // zero out b and reduce a to 3.
+        let cands = |&(a, b): &(u64, u64)| {
+            let mut out: Vec<(u64, u64)> =
+                scalar_candidates(a, 0).into_iter().map(|x| (x, b)).collect();
+            out.extend(scalar_candidates(b, 0).into_iter().map(|x| (a, x)));
+            out
+        };
+        let ((a, b), _) = minimize((9, 14), cands, |&(a, _)| a >= 3);
+        assert_eq!((a, b), (3, 0));
+    }
+}

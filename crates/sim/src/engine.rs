@@ -31,6 +31,7 @@ use crate::config::{MachineConfig, MemoryMode, PipelineKind};
 use crate::decode::{fu_class, DecodedProgram, FuClass};
 use crate::exec::{alu_eval, cmp_eval, falu_eval, RegFile};
 use crate::mem::{LiveInBuffer, Memory, LIB_NO_SLOT};
+use crate::snapshot::{ArchSnapshot, SnapshotRec, TrapKind};
 use crate::stats::SimResult;
 use crate::stride::StridePrefetcher;
 use crate::telemetry::Telemetry;
@@ -161,6 +162,10 @@ pub struct Engine<'a> {
     /// hook to a single branch — no allocation, no time query — so the
     /// untraced cycle loop is unchanged.
     telemetry: Option<Box<Telemetry>>,
+    /// Architectural-state recorder, present only under
+    /// [`simulate_snapshot`]. Same side-structure discipline as
+    /// `telemetry`: `None` keeps every hook to a single branch.
+    snap: Option<Box<SnapshotRec>>,
 }
 
 impl<'a> Engine<'a> {
@@ -198,6 +203,7 @@ impl<'a> Engine<'a> {
             rr_next: 1,
             stride: cfg.stride_prefetcher.then(|| StridePrefetcher::new(cfg.stride_degree)),
             telemetry: None,
+            snap: None,
         }
     }
 
@@ -421,6 +427,15 @@ impl<'a> Engine<'a> {
 
             let flow = self.exec_inst(tid, at, op);
             count += 1;
+            if tid == 0 {
+                if let Some(s) = self.snap.as_deref_mut() {
+                    // Per-thread dispatch is in program order and every
+                    // dispatched instruction retires (the machine always
+                    // follows the correct path), so the main thread's
+                    // dispatch stream *is* its committed stream.
+                    s.record_commit(self.decode.get(at).tag);
+                }
+            }
             if tid == 0 && self.effective_roi() {
                 self.result.main_insts += 1;
             } else if tid != 0 && self.effective_roi() {
@@ -516,9 +531,20 @@ impl<'a> Engine<'a> {
         self.threads.iter().position(|t| !t.active())
     }
 
+    /// End the whole simulation, recording why for the snapshot layer.
+    fn halt_with(&mut self, kind: TrapKind) -> Flow {
+        if let Some(s) = self.snap.as_deref_mut() {
+            s.note_trap(kind);
+        }
+        Flow::Halt
+    }
+
     fn kill_thread(&mut self, tid: usize) {
         if let Some(tel) = self.telemetry.as_deref_mut() {
             tel.slices_killed += 1;
+        }
+        if let Some(s) = self.snap.as_deref_mut() {
+            s.spec_kills += 1;
         }
         if let Some(slot) = self.threads[tid].owned_slot.take() {
             self.lib.free(slot);
@@ -658,6 +684,11 @@ impl<'a> Engine<'a> {
                     if self.cfg.memory_mode == MemoryMode::Normal {
                         self.hier.access_store(addr, start);
                     }
+                } else if let Some(s) = self.snap.as_deref_mut() {
+                    // The store was dropped, but the oracle wants to know
+                    // a speculative thread tried: slices must be
+                    // store-free, so any attempt is a codegen bug.
+                    s.spec_store_attempts += 1;
                 }
                 self.push_rob(tid, start, start + 1, false, None);
                 self.threads[tid].pc = Some(next);
@@ -737,7 +768,7 @@ impl<'a> Engine<'a> {
                         self.kill_thread(tid);
                         Flow::ThreadDone
                     }
-                    _ => Flow::Halt,
+                    _ => self.halt_with(TrapKind::WildIndirectCall),
                 }
             }
             Op::Ret => {
@@ -751,7 +782,7 @@ impl<'a> Engine<'a> {
                         self.kill_thread(tid);
                         Flow::ThreadDone
                     }
-                    None => Flow::Halt,
+                    None => self.halt_with(TrapKind::MainExit),
                 }
             }
             Op::ChkC { stub } => {
@@ -850,7 +881,7 @@ impl<'a> Engine<'a> {
                     Flow::ThreadDone
                 } else {
                     // The main thread ending via kill ends the run.
-                    Flow::Halt
+                    self.halt_with(TrapKind::MainExit)
                 }
             }
             Op::RoiBegin => {
@@ -863,7 +894,7 @@ impl<'a> Engine<'a> {
                 self.threads[tid].pc = Some(next);
                 Flow::Continue
             }
-            Op::Halt => Flow::Halt,
+            Op::Halt => self.halt_with(TrapKind::Halted),
             Op::Nop => {
                 self.push_rob(tid, start, start + 1, false, None);
                 self.threads[tid].pc = Some(next);
@@ -948,4 +979,44 @@ pub fn simulate_traced(
     let tel = e.telemetry.take().expect("telemetry installed above");
     let trace = tel.finish(&e.result, e.cycle);
     (e.result, trace)
+}
+
+/// Run `prog` and additionally capture its final architectural state —
+/// main-thread registers, a memory digest, the trap kind, and a digest of
+/// the main thread's committed-instruction stream restricted to tags
+/// below `tag_bound` — for differential baseline-vs-adapted checks.
+///
+/// Pass the *original* program's `next_tag` as `tag_bound` when
+/// snapshotting an adapted binary (adaptation preserves original tags and
+/// mints fresh ones above that bound), and the program's own `next_tag`
+/// when snapshotting the baseline; the two commit digests are then
+/// directly comparable.
+///
+/// Like tracing, snapshotting never changes timing: the returned
+/// [`SimResult`] is identical to what [`simulate`] produces.
+pub fn simulate_snapshot(
+    prog: &Program,
+    cfg: &MachineConfig,
+    tag_bound: u32,
+) -> (SimResult, ArchSnapshot) {
+    let mut e = Engine::new(prog, cfg);
+    e.snap = Some(Box::new(SnapshotRec::new(tag_bound)));
+    e.run_to_end();
+    let rec = e.snap.take().expect("snapshot recorder installed above");
+    // `run_to_end` ends either at a Flow::Halt site (all of which record
+    // a trap) or at the cycle cap.
+    let trap = rec.trap.unwrap_or(TrapKind::CycleCap);
+    let regs = (0..NUM_REGS).map(|r| e.threads[0].rf.read(ssp_ir::Reg(r as u16))).collect();
+    let spec_live_at_end = e.threads[1..].iter().filter(|t| t.active()).count() as u64;
+    let snap = ArchSnapshot {
+        regs,
+        mem_digest: e.mem.digest(),
+        trap,
+        commit_digest: rec.commit_digest,
+        commit_len: rec.commit_len,
+        spec_store_attempts: rec.spec_store_attempts,
+        spec_kills: rec.spec_kills,
+        spec_live_at_end,
+    };
+    (e.result, snap)
 }

@@ -54,6 +54,7 @@ pub mod engine;
 pub mod exec;
 pub mod mem;
 pub mod profile;
+pub mod snapshot;
 pub mod stats;
 pub mod stride;
 mod telemetry;
@@ -61,9 +62,10 @@ mod telemetry;
 pub use cache::{AccessResult, Hierarchy, HitWhere};
 pub use config::{CacheConfig, MachineConfig, MemoryMode, PipelineKind};
 pub use decode::{DecodedInst, DecodedProgram};
-pub use engine::{simulate, simulate_reference, simulate_traced, Engine};
+pub use engine::{simulate, simulate_reference, simulate_snapshot, simulate_traced, Engine};
 pub use mem::{LiveInBuffer, Memory, LIB_NO_SLOT};
 pub use profile::{profile, LoadProfile, Profile};
+pub use snapshot::{ArchSnapshot, TrapKind};
 pub use ssp_trace::{SimTrace, Timeliness, TimelinessCounts};
 pub use stats::{speedup, CycleBreakdown, LoadStats, SimResult};
 pub use stride::StridePrefetcher;

@@ -37,6 +37,31 @@ impl Memory {
     pub fn footprint_words(&self) -> usize {
         self.words.len()
     }
+
+    /// Order-independent digest of the semantic memory state: an XOR-fold
+    /// of a per-entry FNV hash over every *nonzero* word. Zero-valued
+    /// words are skipped because unwritten memory reads as zero — two
+    /// memories that answer every `read` identically digest identically,
+    /// regardless of which zeros were ever explicitly stored and of
+    /// `HashMap` iteration order.
+    pub fn digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x100_0000_01b3;
+        let mut acc = 0u64;
+        for (&addr, &val) in &self.words {
+            if val == 0 {
+                continue;
+            }
+            let mut h = FNV_OFFSET;
+            for v in [addr, val] {
+                for shift in [0u32, 8, 16, 24, 32, 40, 48, 56] {
+                    h = (h ^ ((v >> shift) & 0xFF)).wrapping_mul(FNV_PRIME);
+                }
+            }
+            acc ^= h;
+        }
+        acc
+    }
 }
 
 /// The live-in buffer: the on-chip RSE backing-store region used to pass
@@ -143,6 +168,20 @@ mod tests {
         assert_eq!(m.read(0x100), 1);
         assert_eq!(m.read(0x108), 2);
         assert_eq!(m.footprint_words(), 2);
+    }
+
+    #[test]
+    fn digest_ignores_zero_words_and_order() {
+        let mut a = Memory::new();
+        a.write(0x100, 1);
+        a.write(0x108, 2);
+        a.write(0x200, 0); // explicit zero: invisible to reads
+        let mut b = Memory::new();
+        b.write(0x108, 2);
+        b.write(0x100, 1);
+        assert_eq!(a.digest(), b.digest());
+        b.write(0x108, 3);
+        assert_ne!(a.digest(), b.digest());
     }
 
     #[test]

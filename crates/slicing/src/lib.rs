@@ -14,5 +14,5 @@ pub mod summary;
 
 pub use analysis::{Analyses, FuncAnalyses};
 pub use depgraph::{latency_of, latency_of_at, DepEdge, DepKind, RegionDepGraph};
-pub use slicer::{Slice, SliceOptions, Slicer};
+pub use slicer::{Slice, SliceError, SliceOptions, Slicer};
 pub use summary::{Summaries, Summary};

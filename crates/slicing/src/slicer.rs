@@ -24,6 +24,29 @@ use crate::summary::Summaries;
 use ssp_ir::reg::conv;
 use ssp_ir::{BlockId, FuncId, InstRef, Op, Program, Reg};
 use std::collections::{BTreeSet, HashSet};
+use std::fmt;
+
+/// Why a slice request could not be satisfied.
+///
+/// Slicing failures are expected inputs for batch drivers (the fuzz
+/// oracle feeds the slicer arbitrary roots), so they are surfaced as
+/// values instead of panics and degrade into per-load `skipped` entries
+/// in `ssp_codegen::AdaptReport`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SliceError {
+    /// The requested slice root is not a load instruction.
+    RootNotLoad(InstRef),
+}
+
+impl fmt::Display for SliceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SliceError::RootNotLoad(at) => write!(f, "slice root {at} is not a load"),
+        }
+    }
+}
+
+impl std::error::Error for SliceError {}
 
 /// Knobs for the slicer.
 #[derive(Clone, Debug)]
@@ -111,12 +134,16 @@ impl<'p> Slicer<'p> {
     /// Compute the backward slice of `root`'s address within the region
     /// `blocks` (all in `root.func`).
     ///
-    /// # Panics
-    ///
-    /// Panics if `root` is not a load instruction.
-    pub fn slice_in_region(&mut self, root: InstRef, blocks: &[BlockId]) -> Slice {
+    /// Returns [`SliceError::RootNotLoad`] when `root` is not a load
+    /// instruction (p-slices precompute load addresses; any other root is
+    /// a caller bug or an adversarial input, not a reason to abort).
+    pub fn slice_in_region(
+        &mut self,
+        root: InstRef,
+        blocks: &[BlockId],
+    ) -> Result<Slice, SliceError> {
         let Op::Ld { base, .. } = self.prog.inst(root).op else {
-            panic!("slice root {root} is not a load");
+            return Err(SliceError::RootNotLoad(root));
         };
         let fid = root.func;
         let region: HashSet<BlockId> = blocks.iter().copied().collect();
@@ -210,7 +237,7 @@ impl<'p> Slicer<'p> {
                 slice.live_ins.insert(r);
             }
         }
-        slice
+        Ok(slice)
     }
 
     /// Pull a callee's value computation into the slice via its summary.
@@ -325,7 +352,7 @@ mod tests {
         let (prog, body, root) = mcf_like();
         let profile = run_profile(&prog);
         let mut s = Slicer::new(&prog, &profile, SliceOptions::default());
-        let slice = s.slice_in_region(root, &[body]);
+        let slice = s.slice_in_region(root, &[body]).unwrap();
         let idxs: Vec<usize> =
             slice.insts.iter().filter(|r| r.block == body).map(|r| r.idx).collect();
         // A(0), B(1), C(2=root), D(4), E(5), branch(6) — but not sum(3).
@@ -343,7 +370,7 @@ mod tests {
         let (prog, body, root) = mcf_like();
         let profile = run_profile(&prog);
         let mut s = Slicer::new(&prog, &profile, SliceOptions::default());
-        let slice = s.slice_in_region(root, &[body]);
+        let slice = s.slice_in_region(root, &[body]).unwrap();
         // arc and k flow in from outside the loop.
         assert!(slice.live_ins.contains(&Reg(64)), "arc is a live-in");
         assert!(slice.live_ins.contains(&Reg(65)), "K is a live-in");
@@ -356,13 +383,13 @@ mod tests {
         let (prog, body, root) = mcf_like();
         let profile = run_profile(&prog);
         let mut with = Slicer::new(&prog, &profile, SliceOptions::default());
-        let full = with.slice_in_region(root, &[body]);
+        let full = with.slice_in_region(root, &[body]).unwrap();
         let mut without = Slicer::new(
             &prog,
             &profile,
             SliceOptions { control_deps: false, ..SliceOptions::default() },
         );
-        let value_only = without.slice_in_region(root, &[body]);
+        let value_only = without.slice_in_region(root, &[body]).unwrap();
         assert!(value_only.size() < full.size());
         // Pure value slice: A, B, D (arc chain) + root.
         let idxs: Vec<usize> =
@@ -405,13 +432,13 @@ mod tests {
         let region = [body, cold, join];
 
         let mut spec = Slicer::new(&prog, &profile, SliceOptions::default());
-        let spec_slice = spec.slice_in_region(root, &region);
+        let spec_slice = spec.slice_in_region(root, &region).unwrap();
         let mut stat = Slicer::new(
             &prog,
             &profile,
             SliceOptions { speculative: false, ..SliceOptions::default() },
         );
-        let stat_slice = stat.slice_in_region(root, &region);
+        let stat_slice = stat.slice_in_region(root, &region).unwrap();
 
         assert!(spec_slice.pruned > 0, "cold def was pruned");
         let cold_def = InstRef { func: prog.entry, block: cold, idx: 0 };
@@ -455,7 +482,7 @@ mod tests {
         let profile = run_profile(&prog);
         let root = InstRef { func: main_id, block: body, idx: 3 };
         let mut s = Slicer::new(&prog, &profile, SliceOptions::default());
-        let slice = s.slice_in_region(root, &[body]);
+        let slice = s.slice_in_region(root, &[body]).unwrap();
         assert!(slice.interprocedural(), "slice crosses into advance()");
         assert_eq!(slice.callee_insts.len(), 1, "the callee's load");
         assert!(
@@ -463,5 +490,17 @@ mod tests {
             "the call site anchors the descent"
         );
         assert!(slice.live_ins.contains(&cur) || slice.live_ins.contains(&conv::arg(0)));
+    }
+
+    #[test]
+    fn non_load_root_is_a_typed_error() {
+        let (prog, body, _) = mcf_like();
+        let profile = run_profile(&prog);
+        let mut s = Slicer::new(&prog, &profile, SliceOptions::default());
+        // idx 0 is `mov t, arc` — not a load.
+        let root = InstRef { func: prog.entry, block: body, idx: 0 };
+        let err = s.slice_in_region(root, &[body]).unwrap_err();
+        assert_eq!(err, SliceError::RootNotLoad(root));
+        assert!(err.to_string().contains("is not a load"));
     }
 }

@@ -194,7 +194,7 @@ mod tests {
         let profile = ssp_sim::profile(&prog, &MachineConfig::in_order());
         let root = InstRef { func: prog.entry, block: body, idx: 2 };
         let mut slicer = Slicer::new(&prog, &profile, SliceOptions::default());
-        let slice = slicer.slice_in_region(root, &[body]);
+        let slice = slicer.slice_in_region(root, &[body]).unwrap();
         let mut an = Analyses::new();
         let fa = an.get(&prog, prog.entry);
         let tp = place_trigger(&prog, fa, &profile, &slice, TriggerStyle::PerIteration);
@@ -227,7 +227,7 @@ mod tests {
         let profile = ssp_sim::profile(&prog, &MachineConfig::in_order());
         let root = InstRef { func: prog.entry, block: mid, idx: 0 };
         let mut slicer = Slicer::new(&prog, &profile, SliceOptions::default());
-        let slice = slicer.slice_in_region(root, &[mid]);
+        let slice = slicer.slice_in_region(root, &[mid]).unwrap();
         assert!(slice.live_ins.contains(&a));
         let mut an = Analyses::new();
         let fa = an.get(&prog, prog.entry);

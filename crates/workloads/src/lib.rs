@@ -33,7 +33,9 @@ pub mod rng;
 pub mod treeadd;
 pub mod vpr;
 
+use ssp_ir::verify::VerifyError;
 use ssp_ir::Program;
+use std::fmt;
 
 /// A named benchmark program.
 #[derive(Clone, Debug)]
@@ -43,6 +45,37 @@ pub struct Workload {
     /// The program (with its initialized data image).
     pub program: Program,
 }
+
+/// Why a workload lookup failed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WorkloadError {
+    /// No benchmark with the requested name.
+    UnknownName(String),
+    /// The generated program failed IR verification — a bug in the
+    /// workload builder, reported instead of panicking so batch drivers
+    /// can skip the workload and keep going.
+    Verify {
+        /// Benchmark name.
+        name: &'static str,
+        /// The verifier diagnostic.
+        error: VerifyError,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::UnknownName(n) => {
+                write!(f, "unknown benchmark {n:?} (known: {})", NAMES.join(", "))
+            }
+            WorkloadError::Verify { name, error } => {
+                write!(f, "workload {name} fails verification: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
 
 /// The full seven-benchmark suite of §4.1, in the paper's order.
 pub fn suite(seed: u64) -> Vec<Workload> {
@@ -57,17 +90,24 @@ pub fn suite(seed: u64) -> Vec<Workload> {
     ]
 }
 
-/// Look up one benchmark by name.
-pub fn by_name(name: &str, seed: u64) -> Option<Workload> {
-    match name {
-        "em3d" => Some(em3d::build(seed)),
-        "health" => Some(health::build(seed)),
-        "mst" => Some(mst::build(seed)),
-        "treeadd.df" => Some(treeadd::build_df(seed)),
-        "treeadd.bf" => Some(treeadd::build_bf(seed)),
-        "mcf" => Some(mcf::build(seed)),
-        "vpr" => Some(vpr::build(seed)),
-        _ => None,
+/// Benchmark names accepted by [`by_name`], in the paper's order.
+pub const NAMES: [&str; 7] = ["em3d", "health", "mst", "treeadd.df", "treeadd.bf", "mcf", "vpr"];
+
+/// Look up one benchmark by name; the returned program is verified.
+pub fn by_name(name: &str, seed: u64) -> Result<Workload, WorkloadError> {
+    let w = match name {
+        "em3d" => em3d::build(seed),
+        "health" => health::build(seed),
+        "mst" => mst::build(seed),
+        "treeadd.df" => treeadd::build_df(seed),
+        "treeadd.bf" => treeadd::build_bf(seed),
+        "mcf" => mcf::build(seed),
+        "vpr" => vpr::build(seed),
+        _ => return Err(WorkloadError::UnknownName(name.to_owned())),
+    };
+    match ssp_ir::verify::verify(&w.program) {
+        Ok(()) => Ok(w),
+        Err(error) => Err(WorkloadError::Verify { name: w.name, error }),
     }
 }
 
@@ -92,6 +132,13 @@ mod tests {
             let again = by_name(w.name, 9).unwrap();
             assert_eq!(w.program, again.program, "{} deterministic", w.name);
         }
-        assert!(by_name("nope", 1).is_none());
+        assert_eq!(by_name("nope", 1).unwrap_err(), WorkloadError::UnknownName("nope".to_owned()));
+    }
+
+    #[test]
+    fn names_list_matches_by_name() {
+        for name in NAMES {
+            assert_eq!(by_name(name, 3).unwrap().name, name);
+        }
     }
 }

@@ -14,7 +14,7 @@ fn main() {
     let ooo = MachineConfig::out_of_order();
 
     let tool = PostPassTool::new(io.clone());
-    let adapted = tool.run(&w.program);
+    let adapted = tool.run(&w.program).expect("adaptation succeeds");
     let c = adapted.characteristics(w.name);
     println!("== {} ==", c.name);
     println!(

@@ -38,7 +38,7 @@ fn main() {
     // The post-pass tool: profile, slice, schedule, place triggers, emit.
     let machine = MachineConfig::in_order();
     let tool = PostPassTool::new(machine.clone());
-    let adapted = tool.run(&program);
+    let adapted = tool.run(&program).expect("adaptation succeeds");
 
     println!("delinquent loads found : {}", adapted.report.delinquent.len());
     println!("p-slices emitted       : {}", adapted.report.slice_count());

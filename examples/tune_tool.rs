@@ -10,7 +10,7 @@ use ssp_core::{simulate, AdaptOptions, MachineConfig, PostPassTool, ScheduleOpti
 
 fn run_with(w: &ssp_workloads::Workload, machine: &MachineConfig, opts: AdaptOptions) -> f64 {
     let tool = PostPassTool::new(machine.clone()).with_options(opts);
-    let adapted = tool.run(&w.program);
+    let adapted = tool.run(&w.program).expect("adaptation succeeds");
     let base = simulate(&w.program, machine);
     let ssp = simulate(&adapted.program, machine);
     base.cycles as f64 / ssp.cycles as f64

@@ -10,7 +10,7 @@ const SEED: u64 = 2002;
 fn every_benchmark_adapts_and_verifies() {
     let tool = PostPassTool::new(MachineConfig::in_order());
     for w in ssp_workloads::suite(SEED) {
-        let adapted = tool.run(&w.program);
+        let adapted = tool.run(&w.program).expect("adaptation succeeds");
         ssp_ir::verify::verify(&adapted.program).unwrap_or_else(|e| panic!("{}: {e}", w.name));
         ssp_ir::verify::verify_speculative(&adapted.program)
             .unwrap_or_else(|e| panic!("{}: {e}", w.name));
@@ -27,7 +27,7 @@ fn ssp_never_hurts_meaningfully_in_order() {
     let mc = MachineConfig::in_order();
     let tool = PostPassTool::new(mc.clone());
     for w in ssp_workloads::suite(SEED) {
-        let adapted = tool.run(&w.program);
+        let adapted = tool.run(&w.program).expect("adaptation succeeds");
         let base = simulate(&w.program, &mc);
         let ssp = simulate(&adapted.program, &mc);
         assert!(base.halted && ssp.halted, "{} halts", w.name);
@@ -49,7 +49,7 @@ fn suite_achieves_meaningful_mean_speedup() {
     let tool = PostPassTool::new(mc.clone());
     let mut speedups = Vec::new();
     for w in ssp_workloads::suite(SEED) {
-        let adapted = tool.run(&w.program);
+        let adapted = tool.run(&w.program).expect("adaptation succeeds");
         let base = simulate(&w.program, &mc);
         let ssp = simulate(&adapted.program, &mc);
         speedups.push(base.cycles as f64 / ssp.cycles as f64);
@@ -69,7 +69,7 @@ fn adaptation_preserves_main_thread_semantics() {
     let mc = MachineConfig::in_order().with_memory_mode(MemoryMode::PerfectAll);
     let tool = PostPassTool::new(MachineConfig::in_order());
     for w in ssp_workloads::suite(SEED) {
-        let adapted = tool.run(&w.program);
+        let adapted = tool.run(&w.program).expect("adaptation succeeds");
         let base = simulate(&w.program, &mc);
         let ssp = simulate(&adapted.program, &mc);
         for (tag, s) in &base.loads {
@@ -84,8 +84,8 @@ fn simulation_is_deterministic() {
     let mc = MachineConfig::in_order();
     let tool = PostPassTool::new(mc.clone());
     let w = ssp_workloads::mcf::build(SEED);
-    let a1 = tool.run(&w.program);
-    let a2 = tool.run(&w.program);
+    let a1 = tool.run(&w.program).expect("adaptation succeeds");
+    let a2 = tool.run(&w.program).expect("adaptation succeeds");
     assert_eq!(a1.program, a2.program, "adaptation is deterministic");
     let r1 = simulate(&a1.program, &mc);
     let r2 = simulate(&a1.program, &mc);

@@ -50,7 +50,7 @@ proptest! {
 
         let mc = MachineConfig::in_order();
         let tool = PostPassTool::new(mc.clone());
-        let adapted = tool.run(&prog);
+        let adapted = tool.run(&prog).expect("adaptation succeeds");
         prop_assert!(ssp_ir::verify::verify(&adapted.program).is_ok());
         prop_assert!(ssp_ir::verify::verify_speculative(&adapted.program).is_ok());
 
@@ -75,7 +75,7 @@ proptest! {
     ) {
         let prog = chase(n, 64, mult, 2);
         let tool = PostPassTool::new(MachineConfig::in_order());
-        let adapted = tool.run(&prog);
+        let adapted = tool.run(&prog).expect("adaptation succeeds");
         let mc = MachineConfig::in_order().with_memory_mode(MemoryMode::PerfectAll);
         let base = simulate(&prog, &mc);
         let ssp = simulate(&adapted.program, &mc);
