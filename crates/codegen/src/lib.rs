@@ -15,6 +15,7 @@ pub use select::{plan_for_load, plan_for_load_traced, SelectOptions, SlicePlan};
 
 use ssp_ir::verify::VerifyError;
 use ssp_ir::{InstTag, Program};
+use ssp_lint::{LintReport, PlanView};
 use ssp_sim::{MachineConfig, Profile};
 use ssp_slicing::{SliceOptions, Slicer};
 use ssp_trace::{Stopwatch, ToolTrace};
@@ -35,12 +36,18 @@ pub enum AdaptError {
     /// fuzzing harnesses can report and minimize the offending case
     /// instead of aborting the process.
     EmitVerify(VerifyError),
+    /// The emitted binary failed the static SSP linter (`ssp-lint`):
+    /// trigger coverage, live-in completeness, slice hygiene, or
+    /// stub well-formedness. Like [`AdaptError::EmitVerify`], this is a
+    /// tool bug, and the full report is preserved for harnesses.
+    Lint(LintReport),
 }
 
 impl fmt::Display for AdaptError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AdaptError::EmitVerify(e) => write!(f, "adapted binary failed verification: {e}"),
+            AdaptError::Lint(r) => write!(f, "adapted binary failed the static linter: {r}"),
         }
     }
 }
@@ -109,6 +116,23 @@ impl AdaptReport {
         }
         self.slices.iter().map(|s| s.live_ins.len() as f64).sum::<f64>() / self.slices.len() as f64
     }
+}
+
+/// The linter's view of a report's emitted slices — the plan facts
+/// `ssp_lint::lint` verifies the adapted binary against.
+pub fn lint_views(report: &AdaptReport) -> Vec<PlanView> {
+    report
+        .slices
+        .iter()
+        .map(|s| PlanView {
+            root_tags: s.root_tags.clone(),
+            trigger: s.trigger,
+            stub: s.stub,
+            slice_entry: s.slice_entry,
+            model: s.model,
+            live_ins: s.live_ins.clone(),
+        })
+        .collect()
 }
 
 /// Adapt `prog` for software-based speculative precomputation.
@@ -249,6 +273,10 @@ pub fn adapt_traced(
     emit::insert_triggers(&mut out, work);
 
     emit::verify_emitted(&out).map_err(AdaptError::EmitVerify)?;
+    let lint_report = ssp_lint::lint(prog, &out, profile, &lint_views(&report));
+    if !lint_report.is_clean() {
+        return Err(AdaptError::Lint(lint_report));
+    }
     if let Some(t) = trace {
         t.add_wall("codegen", sw.map_or(0, |s| s.elapsed_nanos()));
         t.add("codegen", "slices_emitted", report.slices.len() as u64);

@@ -70,9 +70,10 @@
 #![warn(missing_docs)]
 
 pub use ssp_codegen::{
-    AdaptError, AdaptOptions, AdaptReport, EmitOptions, SelectOptions, SkipReason,
+    lint_views, AdaptError, AdaptOptions, AdaptReport, EmitOptions, SelectOptions, SkipReason,
 };
 pub use ssp_ir::{Program, ProgramBuilder};
+pub use ssp_lint::{Diagnostic, LintReport};
 pub use ssp_sched::{ScheduleOptions, SpModel};
 pub use ssp_sim::{
     profile, simulate, simulate_traced, speedup, CycleBreakdown, LoadStats, MachineConfig,
@@ -199,6 +200,21 @@ impl PostPassTool {
             ssp_codegen::adapt_traced(prog, &profile, &self.machine, &self.options, Some(trace))?;
         Ok(AdaptedBinary { program, report, profile })
     }
+}
+
+/// Re-run the static SSP linter over an already-adapted binary.
+///
+/// [`PostPassTool::run`] already gates its output on a clean lint (a
+/// diagnostic surfaces as [`AdaptError::Lint`]); this helper is for
+/// harnesses that want the report itself — the `ssp-bench` `lint`
+/// binary and the fuzz oracle's static/dynamic cross-check.
+pub fn lint_binary(original: &Program, adapted: &AdaptedBinary) -> LintReport {
+    ssp_lint::lint(
+        original,
+        &adapted.program,
+        &adapted.profile,
+        &ssp_codegen::lint_views(&adapted.report),
+    )
 }
 
 /// Map every prefetching instruction of the adapted binary — the loads

@@ -13,7 +13,10 @@
 //! * the SSP invariants — speculative threads execute no stores to
 //!   program-visible memory, every spawned thread is killed or still in
 //!   flight at the end, and no stub is reachable from more than one
-//!   static trigger.
+//!   static trigger;
+//! * static/dynamic agreement — a dynamic invariant violation on a
+//!   binary the `ssp-lint` static verifier passed clean is reported as
+//!   a `lint-blind-spot` meta-bug in its own right.
 //!
 //! Nothing in this path panics on a bad case: generator, tool, and
 //! checker failures all become [`Violation`]s in the returned
@@ -244,6 +247,23 @@ pub fn run_case(spec: &CaseSpec, ocfg: &OracleConfig) -> CaseResult {
     let (a_ooo_res, a_ooo) = simulate_snapshot(&adapted.program, &ooo, bound);
     check_model("in-order", &base_io, &a_io, &a_io_res, &mentioned, &mut violations);
     check_model("out-of-order", &base_ooo, &a_ooo, &a_ooo_res, &mentioned, &mut violations);
+
+    // Cross-check static vs dynamic verdicts: every invariant the
+    // `ssp-lint` static verifier claims to prove also has a dynamic
+    // detector above. A dynamic violation of one of those on a binary
+    // the linter passed means a linter blind spot — itself a reported
+    // meta-bug (the reverse direction is covered by the adapt gate:
+    // a dirty lint never reaches simulation).
+    const LINTED_KINDS: [&str; 4] = ["store-in-slice", "multi-trigger", "spec-store", "spawn-leak"];
+    if violations.iter().any(|v| LINTED_KINDS.contains(&v.kind))
+        && ssp_core::lint_binary(&prog, &adapted).is_clean()
+    {
+        violations.push(Violation {
+            kind: "lint-blind-spot",
+            detail: "dynamic SSP invariant violation on a binary the static linter passed clean"
+                .to_owned(),
+        });
+    }
 
     CaseResult {
         spec: spec.clone(),

@@ -287,6 +287,71 @@ impl Liveness {
     }
 }
 
+/// Registers read before being written on some path from `entry` through
+/// `blocks` — the upward-exposed uses of that subgraph.
+///
+/// This is raw liveness at `entry` restricted to the given block set
+/// (successor edges leaving the set are ignored), *without* the
+/// [`Liveness`] convention that `Ret` uses the callee-saved registers:
+/// the caller gets exactly the registers some instruction reads without
+/// a prior in-subgraph definition. The SSP linter uses it to prove a
+/// speculative slice reads nothing beyond its live-in buffer slot: the
+/// child context starts zeroed, so every upward-exposed register of the
+/// slice body must be copied in by the stub, and to find which registers
+/// the main thread still reads after a trigger's resume point.
+pub fn upward_exposed_uses(func: &Function, entry: BlockId, blocks: &[BlockId]) -> Vec<Reg> {
+    let in_sub = {
+        let mut v = vec![false; func.blocks.len()];
+        for b in blocks {
+            v[b.index()] = true;
+        }
+        v
+    };
+    if !in_sub[entry.index()] {
+        return Vec::new();
+    }
+    // Per-block upward-exposed uses and definitions.
+    let nb = func.blocks.len();
+    let mut use_set = vec![BitSet::new(NUM_REGS); nb];
+    let mut def_set = vec![BitSet::new(NUM_REGS); nb];
+    for &bid in blocks {
+        for inst in &func.block(bid).insts {
+            for u in inst.op.uses() {
+                if !def_set[bid.index()].contains(u.index()) {
+                    use_set[bid.index()].insert(u.index());
+                }
+            }
+            if let Some(d) = inst.op.def() {
+                def_set[bid.index()].insert(d.index());
+            }
+            for d in inst.op.extra_defs() {
+                def_set[bid.index()].insert(d.index());
+            }
+        }
+    }
+    // Backward fixpoint over the subgraph.
+    let mut live_in = vec![BitSet::new(NUM_REGS); nb];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in blocks.iter().rev() {
+            let mut new_in = BitSet::new(NUM_REGS);
+            for t in func.block(b).terminator().branch_targets() {
+                if in_sub[t.index()] {
+                    new_in.union_with(&live_in[t.index()]);
+                }
+            }
+            new_in.subtract(&def_set[b.index()]);
+            new_in.union_with(&use_set[b.index()]);
+            if new_in != live_in[b.index()] {
+                live_in[b.index()] = new_in;
+                changed = true;
+            }
+        }
+    }
+    live_in[entry.index()].iter().map(|i| Reg(i as u16)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -378,6 +443,23 @@ mod tests {
         let reaching = rd.reaching(BlockId(0), 2, conv::RV);
         assert_eq!(reaching.len(), 1);
         assert_eq!(reaching[0].at.idx, 1);
+    }
+
+    #[test]
+    fn upward_exposed_uses_in_loop_subgraph() {
+        let prog = simple_loop();
+        let func = prog.func(prog.entry);
+        // Over the loop body alone: r1 (incremented), r2 (load base) and
+        // nothing else are read before written; r3 and r4 are defined
+        // before any use.
+        let exposed = upward_exposed_uses(func, BlockId(1), &[BlockId(1)]);
+        assert_eq!(exposed, vec![Reg(1), Reg(2)]);
+        // From the entry over the whole function nothing is exposed: b0
+        // defines r1 and r2 first.
+        let all = [BlockId(0), BlockId(1), BlockId(2)];
+        assert_eq!(upward_exposed_uses(func, BlockId(0), &all), Vec::<Reg>::new());
+        // Entry outside the subgraph: nothing to report.
+        assert_eq!(upward_exposed_uses(func, BlockId(2), &[BlockId(1)]), Vec::<Reg>::new());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //!   loops, loop bodies, connected caller→callee and outer→inner)
 //! * [`callgraph`] — the static call graph
 //! * [`dataflow`] — reaching definitions and liveness over physical registers
+//! * [`paths`] — trigger-coverage path counting over marked sub-CFGs
 //! * [`verify`] — structural well-formedness checks
 //!
 //! # Example
@@ -52,6 +53,7 @@ pub mod display;
 pub mod dom;
 pub mod inst;
 pub mod loops;
+pub mod paths;
 pub mod program;
 pub mod reg;
 pub mod region;

@@ -1,0 +1,216 @@
+//! Path counting over a marked, filtered sub-CFG.
+//!
+//! The static SSP linter needs to know, for every delinquent load, how
+//! many control-flow paths from the function entry reach it and how many
+//! trigger (`chk.c`) blocks each path crosses — the paper's invariant is
+//! that every profile-hot path crosses *exactly one*. [`PathCounts`]
+//! answers this with a single forward dynamic-programming pass: loop
+//! back edges are removed (an edge whose target does not come later in
+//! reverse post-order), leaving the acyclic per-entry/per-iteration view
+//! of the function, and each block accumulates a saturating count of
+//! incoming paths classified by how many marked blocks they crossed.
+//!
+//! Counting on the back-edge-free graph is the right formalization for
+//! per-iteration triggers: a path that goes around a loop again crosses
+//! the trigger again *and legitimately fires it again*, so only the
+//! acyclic skeleton of each path must cross the trigger exactly once.
+
+use crate::cfg::Cfg;
+use crate::program::BlockId;
+
+/// Saturating path counts at one block, classified by how many marked
+/// blocks the path crossed (crossings of the block itself included).
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct PathClasses {
+    /// Paths that crossed no marked block.
+    pub zero: u64,
+    /// Paths that crossed exactly one marked block.
+    pub one: u64,
+    /// Paths that crossed two or more marked blocks.
+    pub many: u64,
+}
+
+impl PathClasses {
+    /// Total number of (counted) paths reaching the block.
+    pub fn total(&self) -> u64 {
+        self.zero.saturating_add(self.one).saturating_add(self.many)
+    }
+}
+
+/// Per-block path counts over the back-edge-free sub-CFG induced by a
+/// block filter.
+#[derive(Clone, Debug)]
+pub struct PathCounts {
+    counts: Vec<Option<PathClasses>>,
+}
+
+impl PathCounts {
+    /// Count paths from the function entry through blocks satisfying
+    /// `included`, crossing `marks(b)` marked instructions per visit of
+    /// block `b`.
+    ///
+    /// Edges whose target does not come strictly later in reverse
+    /// post-order (loop back edges, plus any irreducible retreating
+    /// edge) are dropped, so the traversed graph is a DAG and every
+    /// count is finite; counts saturate instead of overflowing. Blocks
+    /// excluded by the filter — or only reachable through excluded
+    /// blocks — report [`None`].
+    pub fn new(
+        cfg: &Cfg,
+        included: impl Fn(BlockId) -> bool,
+        marks: impl Fn(BlockId) -> u32,
+    ) -> Self {
+        let entry = cfg.rpo()[0];
+        Self::from_source(cfg, entry, included, marks)
+    }
+
+    /// [`PathCounts::new`] starting from an arbitrary source block
+    /// instead of the function entry.
+    ///
+    /// Used for per-iteration trigger coverage: counting from a loop
+    /// header over the loop's blocks yields, at each latch, the classes
+    /// of one full iteration's paths.
+    pub fn from_source(
+        cfg: &Cfg,
+        source: BlockId,
+        included: impl Fn(BlockId) -> bool,
+        marks: impl Fn(BlockId) -> u32,
+    ) -> Self {
+        let n = cfg.num_blocks();
+        let mut counts: Vec<Option<PathClasses>> = vec![None; n];
+        // cfg.rpo() is a topological order of the DAG that remains after
+        // dropping non-forward edges, and starts at the entry.
+        for &b in cfg.rpo().iter() {
+            if !included(b) {
+                continue;
+            }
+            let mut incoming = PathClasses::default();
+            if b == source {
+                // The source receives one virtual path with no crossings.
+                incoming.zero = 1;
+            }
+            for &p in cfg.preds(b) {
+                // Keep only forward edges p -> b.
+                let forward = match (cfg.rpo_pos(p), cfg.rpo_pos(b)) {
+                    (Some(pp), Some(pb)) => pp < pb,
+                    _ => false,
+                };
+                if !forward {
+                    continue;
+                }
+                if let Some(from) = counts[p.index()] {
+                    incoming.zero = incoming.zero.saturating_add(from.zero);
+                    incoming.one = incoming.one.saturating_add(from.one);
+                    incoming.many = incoming.many.saturating_add(from.many);
+                }
+            }
+            if incoming.total() == 0 {
+                continue; // unreached within the filtered subgraph
+            }
+            // Crossing this block shifts every path up by marks(b) classes.
+            let shifted = match marks(b) {
+                0 => incoming,
+                1 => PathClasses {
+                    zero: 0,
+                    one: incoming.zero,
+                    many: incoming.one.saturating_add(incoming.many),
+                },
+                _ => PathClasses { zero: 0, one: 0, many: incoming.total() },
+            };
+            counts[b.index()] = Some(shifted);
+        }
+        PathCounts { counts }
+    }
+
+    /// The path classes reaching `b`, or [`None`] when no counted path
+    /// does (block filtered out, unreachable, or only reachable via
+    /// filtered-out blocks).
+    pub fn at(&self, b: BlockId) -> Option<PathClasses> {
+        self.counts.get(b.index()).copied().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::inst::CmpKind;
+    use crate::program::Program;
+    use crate::reg::Reg;
+
+    /// diamond: 0 -> 1,2 -> 3 -> 4
+    fn diamond() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        let l = f.new_block();
+        let r = f.new_block();
+        let j = f.new_block();
+        let x = f.new_block();
+        f.at(e).movi(Reg(1), 1).br_cond(Reg(1), l, r);
+        f.at(l).br(j);
+        f.at(r).br(j);
+        f.at(j).br(x);
+        f.at(x).halt();
+        let main = f.finish();
+        pb.finish_with(main)
+    }
+
+    #[test]
+    fn diamond_counts_both_paths() {
+        let prog = diamond();
+        let cfg = Cfg::new(prog.func(prog.entry));
+        // Mark only the left arm: the join sees one covered and one
+        // uncovered path.
+        let pc = PathCounts::new(&cfg, |_| true, |b| u32::from(b == BlockId(1)));
+        let at_join = pc.at(BlockId(3)).unwrap();
+        assert_eq!((at_join.zero, at_join.one, at_join.many), (1, 1, 0));
+        // Mark the entry instead: both paths cross it exactly once.
+        let pc = PathCounts::new(&cfg, |_| true, |b| u32::from(b == BlockId(0)));
+        let at_exit = pc.at(BlockId(4)).unwrap();
+        assert_eq!((at_exit.zero, at_exit.one, at_exit.many), (0, 2, 0));
+        // Mark entry and both arms: every path crosses two marks.
+        let pc = PathCounts::new(&cfg, |_| true, |b| u32::from(b.index() <= 2));
+        let at_exit = pc.at(BlockId(4)).unwrap();
+        assert_eq!((at_exit.zero, at_exit.one, at_exit.many), (0, 0, 2));
+    }
+
+    #[test]
+    fn filtered_blocks_cut_paths() {
+        let prog = diamond();
+        let cfg = Cfg::new(prog.func(prog.entry));
+        // Exclude the right arm: only the marked left path remains.
+        let pc = PathCounts::new(&cfg, |b| b != BlockId(2), |b| u32::from(b == BlockId(1)));
+        let at_join = pc.at(BlockId(3)).unwrap();
+        assert_eq!((at_join.zero, at_join.one, at_join.many), (0, 1, 0));
+        assert!(pc.at(BlockId(2)).is_none());
+        // Exclude the entry: nothing is reachable.
+        let pc = PathCounts::new(&cfg, |b| b != BlockId(0), |_| 0);
+        assert!(pc.at(BlockId(3)).is_none());
+    }
+
+    #[test]
+    fn loop_back_edge_is_ignored() {
+        // entry -> body -> body | exit : one acyclic path to each block.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let e = f.entry_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.at(e).movi(Reg(1), 0).br(body);
+        f.at(body).add(Reg(1), Reg(1), 1).cmp(CmpKind::Lt, Reg(2), Reg(1), 10).br_cond(
+            Reg(2),
+            body,
+            exit,
+        );
+        f.at(exit).halt();
+        let main = f.finish();
+        let prog = pb.finish_with(main);
+        let cfg = Cfg::new(prog.func(prog.entry));
+        let pc = PathCounts::new(&cfg, |_| true, |b| u32::from(b == BlockId(1)));
+        let at_body = pc.at(BlockId(1)).unwrap();
+        assert_eq!((at_body.zero, at_body.one, at_body.many), (0, 1, 0));
+        let at_exit = pc.at(BlockId(2)).unwrap();
+        assert_eq!((at_exit.zero, at_exit.one, at_exit.many), (0, 1, 0));
+    }
+}

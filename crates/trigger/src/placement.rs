@@ -62,17 +62,45 @@ pub fn place_trigger(
     let depth = |b: BlockId| fa.dom.ancestors(b).len();
     let in_region = |b: BlockId| slice.region.contains(&b);
 
+    // The region's loop skeleton: its header is the region block that
+    // dominates all the others, its latches the region blocks that
+    // branch back to the header. A block dominating every latch lies on
+    // every iteration of the region loop.
+    let header = slice
+        .region
+        .iter()
+        .copied()
+        .find(|&h| slice.region.iter().all(|&b| fa.dom.dominates(h, b)));
+    let latches: Vec<BlockId> = header
+        .map(|h| {
+            slice
+                .region
+                .iter()
+                .copied()
+                .filter(|&b| prog.func(fid).block(b).terminator().branch_targets().contains(&h))
+                .collect()
+        })
+        .unwrap_or_default();
+    let every_iteration =
+        |b: BlockId| !latches.is_empty() && latches.iter().all(|&l| fa.dom.dominates(b, l));
+
     // Candidate producers: defs of live-in registers that reach the load.
     let mut best: Option<InstRef> = None;
     for &r in &slice.live_ins {
         for d in defs_reaching_root(fa, load, r) {
             let eligible = match style {
-                // Anywhere that dominates the load, or inside the region
-                // (the re-firing per-iteration case).
+                // Only points that control-dominate the loads qualify
+                // (§3.3) — with the per-iteration refinement that a
+                // point crossed by *every* iteration of the region loop
+                // (it dominates all latches, e.g. the induction update
+                // in a single latch) also covers the loads: it fires for
+                // the next iteration's instances. A producer in a
+                // conditional arm or deeper loop satisfies neither, and
+                // would leave hot paths to the loads uncovered.
                 TriggerStyle::PerIteration => {
                     d.block == load.block
-                        || in_region(d.block)
                         || fa.dom.dominates(d.block, load.block)
+                        || (in_region(d.block) && every_iteration(d.block))
                 }
                 // Outside the region, dominating the load: the values the
                 // basic slice loops from.
@@ -142,7 +170,6 @@ pub fn place_trigger(
             block = up;
         }
     }
-    let _ = prog;
     TriggerPoint { func: fid, block, after }
 }
 
@@ -154,8 +181,14 @@ fn defs_reaching_root(fa: &FuncAnalyses, load: InstRef, r: Reg) -> Vec<InstRef> 
 /// Combine trigger points: deduplicate identical locations (several
 /// slices hoisted to the same dominance point share one trigger site;
 /// codegen still emits one `chk.c` per slice, back to back).
+///
+/// The result is sorted by an explicit program-order key — function,
+/// then block, then instruction position (block start before any
+/// `after` index) — so the emitted trigger order never depends on the
+/// order slices were selected in. Downstream emission and the lint
+/// report both inherit this determinism.
 pub fn combine_triggers(mut points: Vec<TriggerPoint>) -> Vec<TriggerPoint> {
-    points.sort();
+    points.sort_by_key(|p| (p.func, p.block, p.after.map_or(-1i64, |i| i as i64)));
     points.dedup();
     points
 }
@@ -243,5 +276,52 @@ mod tests {
         let p3 = TriggerPoint { func: FuncId(0), block: BlockId(2), after: Some(3) };
         let combined = combine_triggers(vec![p1, p2, p3]);
         assert_eq!(combined.len(), 2);
+    }
+
+    /// The combined order is a function of the point set, not of the
+    /// order slice selection produced it in: every input permutation
+    /// yields the same program-ordered result, with block-start points
+    /// ahead of any in-block position.
+    #[test]
+    fn combine_is_permutation_stable() {
+        let pts = [
+            TriggerPoint { func: FuncId(1), block: BlockId(0), after: None },
+            TriggerPoint { func: FuncId(0), block: BlockId(2), after: Some(3) },
+            TriggerPoint { func: FuncId(0), block: BlockId(2), after: None },
+            TriggerPoint { func: FuncId(0), block: BlockId(1), after: Some(5) },
+            TriggerPoint { func: FuncId(0), block: BlockId(2), after: Some(1) },
+        ];
+        let expected = combine_triggers(pts.to_vec());
+        assert_eq!(
+            expected,
+            vec![pts[3], pts[2], pts[4], pts[1], pts[0]],
+            "program order: func, block, block-start before in-block indices"
+        );
+        // Exhaust all 120 permutations of the 5 points.
+        let mut idx = [0usize, 1, 2, 3, 4];
+        let mut perms = vec![idx];
+        // Heap's algorithm, iterative.
+        let mut c = [0usize; 5];
+        let mut i = 0;
+        while i < 5 {
+            if c[i] < i {
+                if i % 2 == 0 {
+                    idx.swap(0, i);
+                } else {
+                    idx.swap(c[i], i);
+                }
+                perms.push(idx);
+                c[i] += 1;
+                i = 0;
+            } else {
+                c[i] = 0;
+                i += 1;
+            }
+        }
+        assert_eq!(perms.len(), 120);
+        for perm in perms {
+            let shuffled: Vec<_> = perm.iter().map(|&j| pts[j]).collect();
+            assert_eq!(combine_triggers(shuffled), expected);
+        }
     }
 }
