@@ -1,122 +1,246 @@
 //! `perf_report`: machine-readable performance snapshot of the harness.
 //!
-//! Emits one JSON object on stdout:
-//!   - per-benchmark wall time of each tool phase (profile, adapt) and
-//!     simulator throughput (simulated cycles per wall second),
-//!   - wall time of regenerating Table 2 + Figure 8 serially vs. with
-//!     the parallel runner, the resulting speedup, and whether the two
-//!     runs were bit-identical.
+//! Emits one JSON object (`ssp-perf-report/2`) on stdout:
+//!   - `engine`: wall time of simulating the workload suite with the
+//!     event-driven fast-forward clock vs. the stepped engine, per
+//!     machine model and per binary class (baseline / SSP-adapted),
+//!     with a bit-identity check over every `SimResult`,
+//!   - `suite`: wall time of regenerating the Figure 8–10 suite with a
+//!     cold vs. warm baseline cache, plus every row's cycle counts,
+//!   - `fig2`: the memory-wall rows (all baseline-class, so they share
+//!     cached denominators with the suite),
+//!   - `cache`: process-wide baseline-cache hit/miss counters.
 //!
+//! Timings are min-of-5 so one scheduler hiccup cannot distort a row.
 //! The JSON is hand-rolled (no serde dependency); run with
 //! `cargo run --release -p ssp-bench --bin perf_report`.
+//!
+//! Flags:
+//!   - `--digest`: print only the deterministic subset (no wall times,
+//!     no worker count) — byte-identical across `SSP_THREADS`, so CI
+//!     can diff it across worker counts.
+//!   - `--enforce-speedup`: exit nonzero if the fast-forward engine is
+//!     slower than the stepped engine over the full measured set.
+//!   - `--out PATH`: additionally write the (full, non-digest) report
+//!     to `PATH`.
 
-use ssp_bench::{parallel, run_suite_configured, BenchmarkRun, SEED};
-use ssp_core::{simulate, AdaptOptions, MachineConfig, PostPassTool};
+use ssp_bench::{cache, fig2_rows, parallel, run_suite_configured, BenchmarkRun, Fig2Row, SEED};
+use ssp_core::{simulate, simulate_stepped, AdaptOptions, MachineConfig, PostPassTool, Program};
 use std::time::Instant;
 
-fn secs(f: impl FnOnce()) -> f64 {
-    let t0 = Instant::now();
-    f();
-    t0.elapsed().as_secs_f64()
+/// One engine-comparison row: the same programs on the same machine,
+/// fast-forward vs. stepped.
+struct EngineRow {
+    model: &'static str,
+    class: &'static str,
+    simulated_cycles: u64,
+    fast_forward_seconds: f64,
+    stepped_seconds: f64,
+    bit_identical: bool,
 }
 
-fn runs_equal(a: &[BenchmarkRun], b: &[BenchmarkRun]) -> bool {
-    a.len() == b.len()
-        && a.iter().zip(b).all(|(x, y)| {
-            x.name == y.name
-                && x.base_io == y.base_io
-                && x.ssp_io == y.ssp_io
-                && x.base_ooo == y.base_ooo
-                && x.ssp_ooo == y.ssp_ooo
-        })
+/// Min-of-`reps` wall time of `f` (first return value), plus whatever
+/// `f` returned on the last repetition.
+fn min_secs<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::MAX;
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        last = Some(r);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+fn engine_row(
+    model: &'static str,
+    class: &'static str,
+    progs: &[&Program],
+    cfg: &MachineConfig,
+) -> EngineRow {
+    let (fast_forward_seconds, fast) =
+        min_secs(5, || progs.iter().map(|p| simulate(p, cfg)).collect::<Vec<_>>());
+    let (stepped_seconds, stepped) =
+        min_secs(5, || progs.iter().map(|p| simulate_stepped(p, cfg)).collect::<Vec<_>>());
+    EngineRow {
+        model,
+        class,
+        simulated_cycles: fast.iter().map(|r| r.total_cycles).sum(),
+        fast_forward_seconds,
+        stepped_seconds,
+        bit_identical: fast == stepped,
+    }
+}
+
+fn speedup(stepped: f64, fast: f64) -> f64 {
+    if fast > 0.0 {
+        stepped / fast
+    } else {
+        0.0
+    }
+}
+
+/// Everything the report measured, independent of rendering mode.
+struct Report {
+    workers: usize,
+    rows: [EngineRow; 4],
+    suite: Vec<BenchmarkRun>,
+    suite_cold_s: f64,
+    suite_warm_s: f64,
+    fig2: Vec<Fig2Row>,
+    fig2_s: f64,
+}
+
+fn render(digest: bool, report: &Report) -> String {
+    let Report { workers, rows, suite, suite_cold_s, suite_warm_s, fig2, fig2_s } = report;
+    let mut out = String::new();
+    let mut line = |s: String| {
+        out.push_str(&s);
+        out.push('\n');
+    };
+    line("{".into());
+    line("  \"schema\": \"ssp-perf-report/2\",".into());
+    line(format!("  \"seed\": {SEED},"));
+    if !digest {
+        line(format!("  \"workers\": {workers},"));
+    }
+    line("  \"engine\": [".into());
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        if digest {
+            line(format!(
+                "    {{\"model\": \"{}\", \"class\": \"{}\", \"simulated_cycles\": {}, \"bit_identical\": {}}}{comma}",
+                r.model, r.class, r.simulated_cycles, r.bit_identical
+            ));
+        } else {
+            line(format!(
+                concat!(
+                    "    {{\"model\": \"{}\", \"class\": \"{}\", \"simulated_cycles\": {}, ",
+                    "\"fast_forward_seconds\": {:.4}, \"stepped_seconds\": {:.4}, ",
+                    "\"speedup\": {:.2}, \"bit_identical\": {}}}{}"
+                ),
+                r.model,
+                r.class,
+                r.simulated_cycles,
+                r.fast_forward_seconds,
+                r.stepped_seconds,
+                speedup(r.stepped_seconds, r.fast_forward_seconds),
+                r.bit_identical,
+                comma,
+            ));
+        }
+    }
+    line("  ],".into());
+    line("  \"suite\": {".into());
+    if !digest {
+        line(format!("    \"cold_seconds\": {suite_cold_s:.4},"));
+        line(format!("    \"warm_seconds\": {suite_warm_s:.4},"));
+    }
+    line("    \"rows\": [".into());
+    for (i, r) in suite.iter().enumerate() {
+        let comma = if i + 1 < suite.len() { "," } else { "" };
+        line(format!(
+            concat!(
+                "      {{\"name\": \"{}\", \"base_io\": {}, \"ssp_io\": {}, ",
+                "\"base_ooo\": {}, \"ssp_ooo\": {}}}{}"
+            ),
+            r.name, r.base_io.cycles, r.ssp_io.cycles, r.base_ooo.cycles, r.ssp_ooo.cycles, comma,
+        ));
+    }
+    line("    ]".into());
+    line("  },".into());
+    if digest {
+        line("  \"fig2\": [".into());
+    } else {
+        line(format!("  \"fig2_seconds\": {fig2_s:.4},"));
+        line("  \"fig2\": [".into());
+    }
+    for (i, r) in fig2.iter().enumerate() {
+        let comma = if i + 1 < fig2.len() { "," } else { "" };
+        line(format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"perfect_mem_io\": {:.4}, \"perfect_del_io\": {:.4}, ",
+                "\"perfect_mem_ooo\": {:.4}, \"perfect_del_ooo\": {:.4}}}{}"
+            ),
+            r.name, r.perfect_mem_io, r.perfect_del_io, r.perfect_mem_ooo, r.perfect_del_ooo, comma,
+        ));
+    }
+    line("  ],".into());
+    let cs = cache::stats();
+    line(format!("  \"cache\": {{\"hits\": {}, \"misses\": {}}}", cs.hits, cs.misses));
+    line("}".into());
+    out
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let digest = args.iter().any(|a| a == "--digest");
+    let enforce = args.iter().any(|a| a == "--enforce-speedup");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .map(|i| args.get(i + 1).expect("--out requires a path").clone());
+
     let ws = ssp_workloads::suite(SEED);
     let io = MachineConfig::in_order();
     let ooo = MachineConfig::out_of_order();
     let opts = AdaptOptions::default();
     let workers = parallel::threads();
 
-    // Per-benchmark tool-phase and simulator timings, measured serially
-    // so the numbers are per-phase wall times, not contended shares.
-    let mut bench_json = Vec::new();
-    for w in &ws {
-        let t0 = Instant::now();
-        let profile = ssp_core::profile(&w.program, &io);
-        let profile_s = t0.elapsed().as_secs_f64();
+    // Adapt every workload once up front (parallel); the engine rows
+    // time *simulation only*, on both binary classes.
+    let adapted = parallel::map_indexed(&ws, workers, |_, w| {
+        PostPassTool::new(io.clone()).with_options(opts.clone()).run(&w.program).expect("adapts")
+    });
+    let base_progs: Vec<&Program> = ws.iter().map(|w| &w.program).collect();
+    let ssp_progs: Vec<&Program> = adapted.iter().map(|a| &a.program).collect();
 
-        let tool = PostPassTool::new(io.clone()).with_options(opts.clone());
-        let t0 = Instant::now();
-        let adapted = tool.run_with_profile(&w.program, profile).expect("adaptation succeeds");
-        let adapt_s = t0.elapsed().as_secs_f64();
+    // Engine comparison: direct `simulate` calls, never the cache — this
+    // section times the clock fast-forward, nothing else.
+    let rows = [
+        engine_row("in-order", "baseline", &base_progs, &io),
+        engine_row("in-order", "adapted", &ssp_progs, &io),
+        engine_row("out-of-order", "baseline", &base_progs, &ooo),
+        engine_row("out-of-order", "adapted", &ssp_progs, &ooo),
+    ];
 
-        let t0 = Instant::now();
-        let base = simulate(&w.program, &io);
-        let sim_s = t0.elapsed().as_secs_f64();
-        let cps = if sim_s > 0.0 { base.total_cycles as f64 / sim_s } else { 0.0 };
+    // Suite regeneration with the baseline cache cold, then warm. Both
+    // runs also serve as the determinism surface for the digest.
+    let t0 = Instant::now();
+    let suite = run_suite_configured(&ws, &opts, &io, &ooo, workers);
+    let suite_cold_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let warm = run_suite_configured(&ws, &opts, &io, &ooo, workers);
+    let suite_warm_s = t0.elapsed().as_secs_f64();
+    assert_eq!(suite.len(), warm.len(), "warm suite must reproduce the cold one");
 
-        bench_json.push(format!(
-            concat!(
-                "    {{\"name\": \"{}\", \"profile_seconds\": {:.6}, ",
-                "\"adapt_seconds\": {:.6}, \"slices\": {}, ",
-                "\"sim_seconds\": {:.6}, \"simulated_cycles\": {}, ",
-                "\"simulated_cycles_per_second\": {:.0}}}"
-            ),
-            w.name,
-            profile_s,
-            adapt_s,
-            adapted.report.slice_count(),
-            sim_s,
-            base.total_cycles,
-            cps,
-        ));
+    let t0 = Instant::now();
+    let fig2 = fig2_rows(&ws);
+    let fig2_s = t0.elapsed().as_secs_f64();
+
+    let report = Report { workers, rows, suite, suite_cold_s, suite_warm_s, fig2, fig2_s };
+    let json = render(digest, &report);
+    print!("{json}");
+    if let Some(path) = out_path {
+        let full = if digest { render(false, &report) } else { json };
+        std::fs::write(&path, full).expect("write --out file");
     }
 
-    // Table 2 regeneration (adapt every benchmark), serial vs. parallel.
-    let table2 = |workers: usize| {
-        parallel::map_indexed(&ws, workers, |_, w| {
-            PostPassTool::new(io.clone())
-                .with_options(opts.clone())
-                .run(&w.program)
-                .expect("adaptation succeeds")
-                .report
-                .slice_count()
-        })
-    };
-    let mut t2_serial = Vec::new();
-    let mut t2_parallel = Vec::new();
-    let table2_serial_s = secs(|| t2_serial = table2(1));
-    let table2_parallel_s = secs(|| t2_parallel = table2(workers));
-
-    // Figure 8 regeneration (adapt + 4 simulations each), serial vs.
-    // parallel, plus the bit-identity check the runner promises.
-    let mut fig8_serial = Vec::new();
-    let mut fig8_parallel = Vec::new();
-    let fig8_serial_s = secs(|| fig8_serial = run_suite_configured(&ws, &opts, &io, &ooo, 1));
-    let fig8_parallel_s =
-        secs(|| fig8_parallel = run_suite_configured(&ws, &opts, &io, &ooo, workers));
-    let identical = t2_serial == t2_parallel && runs_equal(&fig8_serial, &fig8_parallel);
-
-    let serial_s = table2_serial_s + fig8_serial_s;
-    let parallel_s = table2_parallel_s + fig8_parallel_s;
-    let speedup = if parallel_s > 0.0 { serial_s / parallel_s } else { 0.0 };
-
-    println!("{{");
-    println!("  \"seed\": {SEED},");
-    println!("  \"workers\": {workers},");
-    println!("  \"benchmarks\": [");
-    println!("{}", bench_json.join(",\n"));
-    println!("  ],");
-    println!("  \"regeneration\": {{");
-    println!("    \"table2_serial_seconds\": {table2_serial_s:.3},");
-    println!("    \"table2_parallel_seconds\": {table2_parallel_s:.3},");
-    println!("    \"fig8_serial_seconds\": {fig8_serial_s:.3},");
-    println!("    \"fig8_parallel_seconds\": {fig8_parallel_s:.3},");
-    println!("    \"serial_seconds\": {serial_s:.3},");
-    println!("    \"parallel_seconds\": {parallel_s:.3},");
-    println!("    \"speedup\": {speedup:.2},");
-    println!("    \"bit_identical\": {identical}");
-    println!("  }}");
-    println!("}}");
+    let rows = &report.rows;
+    if !rows.iter().all(|r| r.bit_identical) {
+        eprintln!("perf_report: fast-forward diverged from the stepped engine");
+        std::process::exit(1);
+    }
+    if enforce {
+        let ff: f64 = rows.iter().map(|r| r.fast_forward_seconds).sum();
+        let st: f64 = rows.iter().map(|r| r.stepped_seconds).sum();
+        if ff > st {
+            eprintln!(
+                "perf_report: fast-forward engine is slower than stepped over the full suite \
+                 ({ff:.4}s > {st:.4}s)"
+            );
+            std::process::exit(1);
+        }
+    }
 }

@@ -1,0 +1,165 @@
+//! Process-wide memoization of baseline simulations.
+//!
+//! Every experiment binary re-simulates the same original workloads:
+//! `fig8`/`fig9`/`fig10` all need `base_io`/`base_ooo`, `fig2` needs
+//! them again as the denominators of its perfect-memory bars, and
+//! `perf_report` times the whole lot. Those runs are pure functions of
+//! `(program, machine config)`, so each distinct pair needs to be
+//! simulated exactly once per process; [`baseline`] guarantees that.
+//!
+//! Programs are identified by `(workload name, builder seed)` — the
+//! builders are deterministic, so that pair pins the binary bit-for-bit
+//! (`next_tag` and the image length ride along in the key as a cheap
+//! integrity check). Machine configs are identified by a canonical
+//! fingerprint string: the `Debug` rendering with the memory mode
+//! normalized separately, because `MemoryMode::PerfectDelinquent` holds
+//! a `HashSet` whose iteration (and hence `Debug`) order is not stable
+//! across instances.
+//!
+//! Concurrency: the cache maps each key to its own [`OnceLock`] cell, so
+//! when several workers race on one key the first computes and the rest
+//! block on the cell rather than duplicating the simulation. That also
+//! makes [`stats`] deterministic for a fixed request stream: misses =
+//! distinct keys, hits = requests − distinct keys, whatever the thread
+//! schedule (asserted by the determinism tests).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use ssp_core::{simulate, MachineConfig, MemoryMode, SimResult};
+use ssp_workloads::Workload;
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct Key {
+    name: &'static str,
+    seed: u64,
+    next_tag: u32,
+    image_len: usize,
+    config: String,
+}
+
+type Cell = Arc<OnceLock<SimResult>>;
+
+static CACHE: OnceLock<Mutex<HashMap<Key, Cell>>> = OnceLock::new();
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Canonical identity of a machine configuration, stable across
+/// instances that compare equal.
+fn config_fingerprint(cfg: &MachineConfig) -> String {
+    let mut canon = cfg.clone();
+    let mode = std::mem::replace(&mut canon.memory_mode, MemoryMode::Normal);
+    let mode = match mode {
+        MemoryMode::Normal => "normal".to_string(),
+        MemoryMode::PerfectAll => "perfect-all".to_string(),
+        MemoryMode::PerfectDelinquent(tags) => {
+            let mut tags: Vec<u32> = tags.into_iter().map(|t| t.0).collect();
+            tags.sort_unstable();
+            format!("perfect-delinquent:{tags:?}")
+        }
+    };
+    format!("{canon:?}|{mode}")
+}
+
+/// Simulate workload `w`'s *original* binary under `cfg`, memoized for
+/// the life of the process. The first request for a `(workload, config)`
+/// pair runs [`ssp_core::simulate`]; every later request (from any
+/// thread) returns a clone of the stored result.
+///
+/// Only baselines belong here: adapted binaries are not pure functions
+/// of `(name, seed)` — they depend on the adaptation options — and each
+/// suite run adapts once anyway.
+pub fn baseline(w: &Workload, cfg: &MachineConfig) -> SimResult {
+    let key = Key {
+        name: w.name,
+        seed: w.seed,
+        next_tag: w.program.next_tag,
+        image_len: w.program.image.len(),
+        config: config_fingerprint(cfg),
+    };
+    let cell: Cell = {
+        let mut map = CACHE.get_or_init(Mutex::default).lock().expect("baseline cache poisoned");
+        Arc::clone(map.entry(key).or_default())
+    };
+    let mut computed = false;
+    let result = cell.get_or_init(|| {
+        computed = true;
+        simulate(&w.program, cfg)
+    });
+    if computed {
+        MISSES.fetch_add(1, Ordering::Relaxed);
+    } else {
+        HITS.fetch_add(1, Ordering::Relaxed);
+    }
+    result.clone()
+}
+
+/// Cache effectiveness counters for [`baseline`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that ran a simulation (== distinct keys ever requested).
+    pub misses: u64,
+}
+
+/// Snapshot the process-wide [`baseline`] hit/miss counters.
+pub fn stats() -> CacheStats {
+    CacheStats { hits: HITS.load(Ordering::Relaxed), misses: MISSES.load(Ordering::Relaxed) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SEED;
+
+    #[test]
+    fn memoizes_and_counts_deterministically() {
+        // Use a config no other test shares so the stats delta is ours.
+        let w = ssp_workloads::mcf::build(SEED);
+        let mut cfg = MachineConfig::in_order();
+        cfg.max_cycles = 31_337;
+
+        let before = stats();
+        let first = baseline(&w, &cfg);
+        let mid = stats();
+        assert_eq!(mid.misses, before.misses + 1, "first request simulates");
+
+        let results = crate::parallel::map_indexed(&[(); 8], 4, |_, ()| baseline(&w, &cfg));
+        for r in &results {
+            assert_eq!(*r, first, "cached result must be bit-identical");
+        }
+        let after = stats();
+        assert_eq!(after.misses, mid.misses, "repeat requests never re-simulate");
+        assert_eq!(after.hits, mid.hits + 8, "every repeat request is a hit");
+        assert_eq!(first, ssp_core::simulate_stepped(&w.program, &cfg), "cache returns the truth");
+    }
+
+    #[test]
+    fn distinct_configs_do_not_collide() {
+        let w = ssp_workloads::em3d::build(SEED);
+        let mut a = MachineConfig::in_order();
+        a.max_cycles = 10_007;
+        let mut b = a.clone();
+        b.max_cycles = 20_021;
+        assert_ne!(baseline(&w, &a), baseline(&w, &b), "different caps, different results");
+    }
+
+    #[test]
+    fn perfect_delinquent_fingerprint_is_order_independent() {
+        use ssp_ir::InstTag;
+        // Two HashSets built in different insertion orders must produce
+        // the same fingerprint (HashSet Debug order is not stable).
+        let fwd: std::collections::HashSet<_> = (0..20).map(InstTag).collect();
+        let rev: std::collections::HashSet<_> = (0..20).rev().map(InstTag).collect();
+        let a = MachineConfig::in_order().with_memory_mode(MemoryMode::PerfectDelinquent(fwd));
+        let b = MachineConfig::in_order().with_memory_mode(MemoryMode::PerfectDelinquent(rev));
+        assert_eq!(config_fingerprint(&a), config_fingerprint(&b));
+        assert_ne!(
+            config_fingerprint(&a),
+            config_fingerprint(&MachineConfig::in_order()),
+            "memory mode is part of the identity"
+        );
+    }
+}

@@ -20,6 +20,7 @@
 //! who wins, by roughly what factor, where the crossovers fall — is the
 //! reproduction target recorded in EXPERIMENTS.md.
 
+pub mod cache;
 pub mod hand;
 pub mod parallel;
 pub mod trace;
@@ -90,9 +91,9 @@ pub fn run_benchmark_configured(
     let adapted = tool.run(&w.program).expect("adaptation succeeds");
     BenchmarkRun {
         name: w.name,
-        base_io: simulate(&w.program, io),
+        base_io: cache::baseline(w, io),
         ssp_io: simulate(&adapted.program, io),
-        base_ooo: simulate(&w.program, ooo),
+        base_ooo: cache::baseline(w, ooo),
         ssp_ooo: simulate(&adapted.program, ooo),
         report: adapted.report,
     }
@@ -135,9 +136,9 @@ pub fn run_suite_configured(
     let tasks: Vec<(usize, u8)> =
         (0..ws.len()).flat_map(|wi| (0..4u8).map(move |k| (wi, k))).collect();
     let sims = parallel::map_indexed(&tasks, workers, |_, &(wi, k)| match k {
-        0 => simulate(&ws[wi].program, io),
+        0 => cache::baseline(&ws[wi], io),
         1 => simulate(&adapted[wi].program, io),
-        2 => simulate(&ws[wi].program, ooo),
+        2 => cache::baseline(&ws[wi], ooo),
         _ => simulate(&adapted[wi].program, ooo),
     });
     let mut sims = sims.into_iter();
@@ -184,8 +185,11 @@ pub fn fig2_row(w: &Workload) -> Fig2Row {
     let delinquent: std::collections::HashSet<_> =
         profile.delinquent_loads(0.9).into_iter().collect();
 
+    // Every run here is a baseline (the *original* binary under some
+    // memory mode), so all six go through the process-wide cache — the
+    // two Normal-mode denominators are shared with `run_suite`.
     let run = |mc: &MachineConfig, mode: MemoryMode| {
-        simulate(&w.program, &mc.clone().with_memory_mode(mode))
+        cache::baseline(w, &mc.clone().with_memory_mode(mode))
     };
     let base_io = run(&io, MemoryMode::Normal);
     let base_ooo = run(&ooo, MemoryMode::Normal);

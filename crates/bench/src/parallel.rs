@@ -11,20 +11,52 @@
 //! Built on `std::thread::scope` only; no external thread-pool crate.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, Once};
+
+/// Hard ceiling on the worker count accepted from `SSP_THREADS`. The
+/// fan-out spawns real OS threads (no pool), so an absurd value would
+/// exhaust process limits rather than help; results are identical at any
+/// worker count anyway.
+pub const MAX_THREADS: usize = 512;
 
 /// Worker count for experiment fan-out: the `SSP_THREADS` environment
-/// variable when set to a positive integer, else the host's available
-/// parallelism, else 1.
+/// variable when set to a positive integer (clamped to
+/// [`MAX_THREADS`]), else the host's available parallelism, else 1.
+///
+/// Degenerate values never silently misbehave: `0` is clamped to 1,
+/// values above [`MAX_THREADS`] are clamped down, and non-numeric text
+/// is ignored in favour of the host default — each with a one-time note
+/// on stderr naming the offending value.
 pub fn threads() -> usize {
-    if let Ok(v) = std::env::var("SSP_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            if n >= 1 {
-                return n;
+    let host = || std::thread::available_parallelism().map_or(1, |n| n.get());
+    match std::env::var("SSP_THREADS") {
+        Ok(v) => match v.parse::<usize>() {
+            Ok(0) => {
+                warn_once("SSP_THREADS=0 is not a worker count; clamping to 1");
+                1
             }
-        }
+            Ok(n) if n > MAX_THREADS => {
+                warn_once(&format!("SSP_THREADS={n} exceeds the {MAX_THREADS}-thread ceiling; clamping to {MAX_THREADS}"));
+                MAX_THREADS
+            }
+            Ok(n) => n,
+            Err(_) => {
+                let h = host();
+                warn_once(&format!(
+                    "SSP_THREADS={v:?} is not a number; using host parallelism ({h})"
+                ));
+                h
+            }
+        },
+        Err(_) => host(),
     }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Print one `ssp-bench:` note to stderr, once per process — `threads()`
+/// is called from hot fan-out paths and must not spam.
+fn warn_once(msg: &str) {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| eprintln!("ssp-bench: {msg}"));
 }
 
 /// Apply `f` to every item on up to `workers` threads, returning results
@@ -103,6 +135,25 @@ mod tests {
         let none: Vec<u32> = Vec::new();
         assert!(map_indexed(&none, 4, |_, &x| x).is_empty());
         assert_eq!(map_indexed(&[7u32], 4, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn degenerate_ssp_threads_values_are_clamped() {
+        // One sequential test for every env-var case: the test harness
+        // runs #[test] fns concurrently and SSP_THREADS is process-global.
+        let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let original = std::env::var("SSP_THREADS").ok();
+        let cases: [(&str, usize); 5] =
+            [("0", 1), ("4", 4), ("9999999", MAX_THREADS), ("lots", host), ("-3", host)];
+        for (val, want) in cases {
+            std::env::set_var("SSP_THREADS", val);
+            assert_eq!(threads(), want, "SSP_THREADS={val}");
+        }
+        std::env::remove_var("SSP_THREADS");
+        assert_eq!(threads(), host, "unset falls back to host parallelism");
+        if let Some(v) = original {
+            std::env::set_var("SSP_THREADS", v);
+        }
     }
 
     #[test]

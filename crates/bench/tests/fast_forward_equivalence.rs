@@ -1,0 +1,70 @@
+//! Tier-1 property: the event-driven fast-forward engine is observably
+//! indistinguishable from the stepped engine — identical `SimResult`
+//! statistics, memory digests, and trap status — across the whole
+//! surface the harness exercises: every workload × both machine models
+//! × {baseline, SSP-adapted binary}, plus the checked-in fuzz corpus.
+//!
+//! The sim-crate tests cover baselines; this one adds the adapted
+//! binaries (the bench crate is the lowest layer that can run the
+//! post-pass tool) and the corpus programs. Machine configs are
+//! cycle-capped because tier-1 runs this in a debug build; equivalence
+//! does not depend on the cap.
+
+use ssp_core::{simulate, simulate_stepped, AdaptOptions, MachineConfig, PostPassTool, SimResult};
+use ssp_sim::{simulate_snapshot, simulate_snapshot_stepped};
+
+const CORPUS: &str = include_str!("../../../tests/corpus/adaptation_oracle.corpus");
+
+fn capped(mut mc: MachineConfig, max: u64) -> MachineConfig {
+    mc.max_cycles = max;
+    mc
+}
+
+fn machines(max: u64) -> [(&'static str, MachineConfig); 2] {
+    [
+        ("in-order", capped(MachineConfig::in_order(), max)),
+        ("out-of-order", capped(MachineConfig::out_of_order(), max)),
+    ]
+}
+
+fn assert_equivalent(what: &str, fast: &SimResult, stepped: &SimResult) {
+    assert_eq!(fast.total_cycles, stepped.total_cycles, "{what}: total_cycles");
+    assert_eq!(fast.breakdown, stepped.breakdown, "{what}: stall breakdown");
+    assert_eq!(fast, stepped, "{what}: full SimResult");
+}
+
+#[test]
+fn workloads_baseline_and_adapted_match_stepped_engine() {
+    let ws = ssp_workloads::suite(ssp_bench::SEED);
+    let opts = AdaptOptions::default();
+    for w in &ws {
+        let adapted = PostPassTool::new(MachineConfig::in_order())
+            .with_options(opts.clone())
+            .run(&w.program)
+            .expect("adaptation succeeds");
+        for (model, cfg) in machines(120_000) {
+            for (class, prog) in [("baseline", &w.program), ("adapted", &adapted.program)] {
+                let what = format!("{} {class} on {model}", w.name);
+                assert_equivalent(&what, &simulate(prog, &cfg), &simulate_stepped(prog, &cfg));
+            }
+        }
+    }
+}
+
+#[test]
+fn corpus_programs_match_stepped_engine_with_digests_and_traps() {
+    let specs = ssp_fuzz::corpus::parse(CORPUS).expect("corpus parses");
+    assert!(specs.len() >= 8, "seed corpus present");
+    for spec in &specs {
+        let prog = ssp_fuzz::gen::generate(spec).expect("corpus entries generate");
+        let bound = prog.next_tag;
+        for (model, cfg) in machines(120_000) {
+            let (fr, fs) = simulate_snapshot(&prog, &cfg, bound);
+            let (sr, ss) = simulate_snapshot_stepped(&prog, &cfg, bound);
+            assert_equivalent(&format!("{spec} on {model}"), &fr, &sr);
+            assert_eq!(fs.mem_digest, ss.mem_digest, "{spec} on {model}: memory digest");
+            assert_eq!(fs.trap, ss.trap, "{spec} on {model}: trap status");
+            assert_eq!(fs, ss, "{spec} on {model}: full snapshot");
+        }
+    }
+}

@@ -76,8 +76,9 @@ pub use ssp_ir::{Program, ProgramBuilder};
 pub use ssp_lint::{Diagnostic, LintReport};
 pub use ssp_sched::{ScheduleOptions, SpModel};
 pub use ssp_sim::{
-    profile, simulate, simulate_traced, speedup, CycleBreakdown, LoadStats, MachineConfig,
-    MemoryMode, PipelineKind, Profile, SimResult, SimTrace, Timeliness, TimelinessCounts,
+    profile, simulate, simulate_stepped, simulate_traced, speedup, CycleBreakdown, LoadStats,
+    MachineConfig, MemoryMode, PipelineKind, Profile, SimResult, SimTrace, Timeliness,
+    TimelinessCounts,
 };
 pub use ssp_slicing::SliceOptions;
 pub use ssp_trace::{PhaseSpan, Stopwatch, ToolTrace, TOOL_PHASES};

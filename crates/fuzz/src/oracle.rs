@@ -16,7 +16,12 @@
 //!   static trigger;
 //! * static/dynamic agreement — a dynamic invariant violation on a
 //!   binary the `ssp-lint` static verifier passed clean is reported as
-//!   a `lint-blind-spot` meta-bug in its own right.
+//!   a `lint-blind-spot` meta-bug in its own right;
+//! * engine agreement — every simulation is also replayed on the
+//!   stepped (fast-forward-disabled) engine, and any difference in
+//!   statistics or architectural snapshot is an `engine-divergence`
+//!   violation, so the fuzzer hammers the clock-skip logic with the
+//!   same random programs it uses against the adapter.
 //!
 //! Nothing in this path panics on a bad case: generator, tool, and
 //! checker failures all become [`Violation`]s in the returned
@@ -27,7 +32,9 @@ use crate::spec::CaseSpec;
 use ssp_core::PostPassTool;
 use ssp_ir::reg::{conv, NUM_REGS};
 use ssp_ir::{Op, Program};
-use ssp_sim::{simulate_snapshot, ArchSnapshot, MachineConfig, SimResult, TrapKind};
+use ssp_sim::{
+    simulate_snapshot, simulate_snapshot_stepped, ArchSnapshot, MachineConfig, SimResult, TrapKind,
+};
 use std::collections::HashMap;
 
 /// Oracle knobs.
@@ -206,6 +213,34 @@ fn check_model(
     }
 }
 
+/// Replay one simulation on the stepped (fast-forward-disabled) engine
+/// and report any difference from the fast-forward run's statistics or
+/// architectural snapshot as an `engine-divergence` violation.
+fn check_engines(
+    model: &str,
+    binary: &str,
+    prog: &Program,
+    cfg: &MachineConfig,
+    bound: u32,
+    fast: (&SimResult, &ArchSnapshot),
+    out: &mut Vec<Violation>,
+) {
+    let (res, snap) = simulate_snapshot_stepped(prog, cfg, bound);
+    if *fast.0 != res || *fast.1 != snap {
+        out.push(Violation {
+            kind: "engine-divergence",
+            detail: format!(
+                "{model}/{binary}: fast-forward engine diverged from stepped \
+                 (cycles {} vs {}, trap {} vs {})",
+                fast.0.total_cycles,
+                res.total_cycles,
+                fast.1.trap.name(),
+                snap.trap.name()
+            ),
+        });
+    }
+}
+
 /// Run the full differential check for one case.
 pub fn run_case(spec: &CaseSpec, ocfg: &OracleConfig) -> CaseResult {
     let prog = match gen::generate(spec) {
@@ -218,8 +253,38 @@ pub fn run_case(spec: &CaseSpec, ocfg: &OracleConfig) -> CaseResult {
     let mut ooo = MachineConfig::out_of_order();
     ooo.max_cycles = ocfg.max_cycles;
 
-    let (_, base_io) = simulate_snapshot(&prog, &io, bound);
-    let (_, base_ooo) = simulate_snapshot(&prog, &ooo, bound);
+    let (b_io_res, base_io) = simulate_snapshot(&prog, &io, bound);
+    let (b_ooo_res, base_ooo) = simulate_snapshot(&prog, &ooo, bound);
+
+    // Engine agreement is checked even on capped baselines — a capped
+    // run is exactly where a fast-forward jump could overshoot the cap.
+    let mut violations = Vec::new();
+    check_engines(
+        "in-order",
+        "baseline",
+        &prog,
+        &io,
+        bound,
+        (&b_io_res, &base_io),
+        &mut violations,
+    );
+    check_engines(
+        "out-of-order",
+        "baseline",
+        &prog,
+        &ooo,
+        bound,
+        (&b_ooo_res, &base_ooo),
+        &mut violations,
+    );
+    if !violations.is_empty() {
+        return CaseResult {
+            spec: spec.clone(),
+            outcome: CaseOutcome::Violations(violations),
+            slices: 0,
+            threads_spawned: 0,
+        };
+    }
     if base_io.trap == TrapKind::CycleCap || base_ooo.trap == TrapKind::CycleCap {
         return CaseResult {
             spec: spec.clone(),
@@ -236,7 +301,6 @@ pub fn run_case(spec: &CaseSpec, ocfg: &OracleConfig) -> CaseResult {
         Err(e) => return CaseResult::failed(spec, "adapt-error", e.to_string()),
     };
 
-    let mut violations = Vec::new();
     if let Err(e) = ssp_ir::verify::verify_speculative(&adapted.program) {
         violations.push(Violation { kind: "store-in-slice", detail: e.to_string() });
     }
@@ -245,6 +309,24 @@ pub fn run_case(spec: &CaseSpec, ocfg: &OracleConfig) -> CaseResult {
     let mentioned = mentioned_regs(&prog);
     let (a_io_res, a_io) = simulate_snapshot(&adapted.program, &io, bound);
     let (a_ooo_res, a_ooo) = simulate_snapshot(&adapted.program, &ooo, bound);
+    check_engines(
+        "in-order",
+        "adapted",
+        &adapted.program,
+        &io,
+        bound,
+        (&a_io_res, &a_io),
+        &mut violations,
+    );
+    check_engines(
+        "out-of-order",
+        "adapted",
+        &adapted.program,
+        &ooo,
+        bound,
+        (&a_ooo_res, &a_ooo),
+        &mut violations,
+    );
     check_model("in-order", &base_io, &a_io, &a_io_res, &mentioned, &mut violations);
     check_model("out-of-order", &base_ooo, &a_ooo, &a_ooo_res, &mentioned, &mut violations);
 

@@ -112,6 +112,21 @@ impl Thread {
     }
 }
 
+/// What one simulated cycle did — the inputs to the event-driven
+/// fast-forward decision in [`Engine::run_to_end`].
+struct StepOutcome {
+    /// The program halted this cycle.
+    halt: bool,
+    /// Instructions issued across *all* threads this cycle. Zero means
+    /// every active thread was gated on a known future timestamp, which
+    /// is exactly when the clock may jump.
+    issued: usize,
+    /// The main thread's stall classification (`None` when it issued or
+    /// is inactive). Constant across a legal skip window, so skipped
+    /// cycles are bulk-accounted under the same Figure-10 bucket.
+    main_stall: Option<StallReason>,
+}
+
 /// What the engine should do after executing one instruction.
 enum Flow {
     /// Keep issuing from this thread (fallthrough).
@@ -135,6 +150,22 @@ pub struct Engine<'a> {
     /// every issue (the pre-optimization behaviour). Only differential
     /// tests use this; results must be bit-identical to the fast path.
     reference: bool,
+    /// When set (the default), the cycle loop jumps over windows where
+    /// no thread can issue: if every active thread is gated on a known
+    /// future timestamp (`fetch_ready`, a source register's ready time,
+    /// or a ROB entry's issue/completion time), the clock advances
+    /// straight to the earliest such event and the skipped cycles are
+    /// bulk-accounted. Every statistic, snapshot, and telemetry
+    /// classification is byte-identical to the stepped engine; the
+    /// stepped twins ([`simulate_stepped`] and friends) exist so
+    /// differential tests can assert exactly that.
+    fast_forward: bool,
+    /// Don't attempt a fast-forward before this cycle. Set after an
+    /// unproductive skip attempt on the OOO model, where the next-event
+    /// scan is O(ROB) per attempt and stall windows can be fragmented
+    /// into jumps too small to pay for it. Pure throttle: a suppressed
+    /// attempt just means stepping, which is always legal.
+    ff_backoff_until: u64,
     cfg: &'a MachineConfig,
     mem: Memory,
     lib: LiveInBuffer,
@@ -185,6 +216,8 @@ impl<'a> Engine<'a> {
             prog,
             decode: DecodedProgram::new(prog),
             reference: false,
+            fast_forward: true,
+            ff_backoff_until: 0,
             cfg,
             mem,
             lib: LiveInBuffer::new(cfg.lib_slots, cfg.lib_slot_words),
@@ -215,15 +248,31 @@ impl<'a> Engine<'a> {
 
     /// The body of [`Engine::run`], borrowed rather than consuming so
     /// [`simulate_traced`] can extract both the result and the trace.
+    ///
+    /// Cycles where at least one instruction issues are stepped
+    /// normally. After a cycle where *nothing* issued anywhere, every
+    /// active thread is provably idle until a known future timestamp, so
+    /// (unless [`Engine::fast_forward`] is off) the clock jumps straight
+    /// to the earliest such event — clamped to the cycle cap — and the
+    /// skipped cycles are bulk-accounted under the stall bucket the
+    /// stepped engine would have charged each of them to.
     fn run_to_end(&mut self) {
         let max = if self.cfg.max_cycles == 0 { u64::MAX } else { self.cfg.max_cycles };
         let mut halted = false;
         while self.cycle < max {
-            if self.step_cycle() {
+            let step = self.step_cycle();
+            if step.halt {
                 halted = true;
                 break;
             }
             self.cycle += 1;
+            if self.fast_forward
+                && step.issued == 0
+                && self.cycle < max
+                && self.cycle >= self.ff_backoff_until
+            {
+                self.fast_forward_clock(step.main_stall, max);
+            }
         }
         self.result.halted = halted;
         self.result.total_cycles = self.cycle;
@@ -233,13 +282,152 @@ impl<'a> Engine<'a> {
         !self.has_roi || self.in_roi
     }
 
-    /// Simulate one cycle. Returns true when the program halted.
-    fn step_cycle(&mut self) -> bool {
+    /// The earliest cycle strictly after `now` (the no-progress cycle
+    /// just completed) at which any thread's issue eligibility *or* its
+    /// stall classification could change. Between `now + 1` and this
+    /// cycle the stepped engine would repeat cycle `now` exactly:
+    /// nothing issues, nothing commits, and the main thread's stall
+    /// reason (including its cache-level payload) is unchanged.
+    ///
+    /// Returns `u64::MAX` when no active thread has a future event —
+    /// the machine can never make progress again and only the cycle cap
+    /// ends the run.
+    fn next_event_cycle(&self, now: u64) -> u64 {
+        let mut ev = u64::MAX;
+        for t in &self.threads {
+            if !t.active() {
+                continue;
+            }
+            if t.fetch_ready > now {
+                // Front end redirecting: nothing else about this thread
+                // is observable before fetch resumes (its ROB keeps
+                // draining, which `drain_commits` replicates).
+                ev = ev.min(t.fetch_ready);
+                continue;
+            }
+            let soonest = match self.cfg.pipeline {
+                PipelineKind::InOrder => {
+                    // Stalled on a source register: the first unready
+                    // source (and with it the stall payload) can only
+                    // change when some unready source becomes ready.
+                    let Some(at) = t.pc else { continue };
+                    let mut soonest = u64::MAX;
+                    for &u in self.decode.get(at).uses() {
+                        let r = t.reg_ready[u.index()];
+                        if r > now {
+                            soonest = soonest.min(r);
+                        }
+                    }
+                    soonest
+                }
+                PipelineKind::OutOfOrder => {
+                    // Stalled on ROB/RS occupancy: the occupancy counts
+                    // and the blocking-load payloads can only change when
+                    // an entry issues (`start_at`) or completes
+                    // (`complete_at`). A leftover entry that already
+                    // completed pops at the very next commit.
+                    let mut soonest = u64::MAX;
+                    for e in &t.rob {
+                        if e.complete_at <= now {
+                            soonest = now + 1;
+                            break;
+                        }
+                        soonest = soonest.min(e.complete_at);
+                        if e.start_at > now {
+                            soonest = soonest.min(e.start_at);
+                        }
+                    }
+                    soonest
+                }
+            };
+            if soonest == u64::MAX {
+                // No future event found for a thread that just failed to
+                // issue — not supposed to happen; never skip past it.
+                return now + 1;
+            }
+            ev = ev.min(soonest);
+        }
+        ev
+    }
+
+    /// Jump the clock from `self.cycle` (the first unsimulated cycle)
+    /// to the next event, bulk-applying everything the stepped engine
+    /// does on a no-progress cycle: Figure-10 stall accounting for the
+    /// main thread, the speculative round-robin rotation, and in-order
+    /// ROB commit draining.
+    fn fast_forward_clock(&mut self, main_stall: Option<StallReason>, max: u64) {
+        let target = self.next_event_cycle(self.cycle - 1).min(max);
+        // On the OOO model the scan above walks every ROB entry; when a
+        // stall window is fragmented into jumps too small to pay for
+        // that, stop rescanning for a while (stepping is always legal).
+        if self.cfg.pipeline == PipelineKind::OutOfOrder && target < self.cycle + 8 {
+            self.ff_backoff_until = self.cycle + 64;
+        }
+        if target <= self.cycle {
+            return;
+        }
+        let skipped = target - self.cycle;
+        if self.cfg.pipeline == PipelineKind::OutOfOrder {
+            self.drain_commits(self.cycle, target - 1);
+        }
+        let n = self.threads.len();
+        if n > 1 {
+            // rr_next rotates every simulated cycle whether or not a
+            // speculative thread issues; apply `skipped` rotations.
+            let m = (n - 1) as u64;
+            self.rr_next = 1 + ((self.rr_next as u64 - 1 + skipped % m) % m) as usize;
+        }
+        if self.effective_roi() {
+            let hit = match main_stall {
+                Some(StallReason::SrcNotReady(h))
+                | Some(StallReason::RobFull(h))
+                | Some(StallReason::RsFull(h)) => h,
+                _ => None,
+            };
+            self.result.cycles += skipped;
+            self.result.account_stalled(hit, skipped);
+        }
+        self.cycle = target;
+    }
+
+    /// Replicate the per-cycle in-order commit the stepped engine would
+    /// perform over the skipped window `[from, to]` (both inclusive),
+    /// in one pass: entry `k` pops at the later of its completion time
+    /// and the cycle commit bandwidth reaches it.
+    fn drain_commits(&mut self, from: u64, to: u64) {
+        let width = self.cfg.bundles_per_cycle * self.cfg.bundle_width;
+        for t in &mut self.threads {
+            let mut at_cycle = from;
+            let mut used = 0usize;
+            while let Some(e) = t.rob.front() {
+                if e.complete_at > to {
+                    break;
+                }
+                if e.complete_at > at_cycle {
+                    at_cycle = e.complete_at;
+                    used = 0;
+                }
+                if used == width {
+                    at_cycle += 1;
+                    used = 0;
+                    if at_cycle > to {
+                        break;
+                    }
+                }
+                t.rob.pop_front();
+                used += 1;
+            }
+        }
+    }
+
+    /// Simulate one cycle.
+    fn step_cycle(&mut self) -> StepOutcome {
         self.fu_used = [0; 4];
         self.advance_fu_ring();
 
         let width = self.cfg.bundle_width; // instructions per bundle
         let mut main_issued = 0usize;
+        let mut spec_issued = 0usize;
         let mut main_stall: Option<StallReason> = None;
         let mut halt = false;
 
@@ -278,6 +466,7 @@ impl<'a> Engine<'a> {
                     continue;
                 }
                 let (count, _, halted) = self.issue_thread(tid, width);
+                spec_issued += count;
                 if halted {
                     halt = true;
                     break;
@@ -323,12 +512,17 @@ impl<'a> Engine<'a> {
             self.result.cycles_account(main_issued, main_stall, &self.threads[0], self.cycle);
             self.result.cycles += 1;
         }
-        halt
+        StepOutcome { halt, issued: main_issued + spec_issued, main_stall }
     }
 
     fn advance_fu_ring(&mut self) {
         while self.fu_ring_base < self.cycle {
-            self.fu_ring.pop_front();
+            if self.fu_ring.pop_front().is_none() {
+                // Ring already empty — after a clock jump, snap the base
+                // forward in O(1) instead of iterating the skipped span.
+                self.fu_ring_base = self.cycle;
+                break;
+            }
             self.fu_ring_base += 1;
         }
     }
@@ -928,11 +1122,19 @@ impl SimResult {
             | Some(StallReason::RsFull(h)) => h,
             _ => None,
         };
+        self.account_stalled(hit, 1);
+    }
+
+    /// Charge `n` zero-issue cycles to the Figure-10 stall bucket for a
+    /// main thread blocked on a load that hit at `hit`. Used per-cycle by
+    /// [`SimResult::cycles_account`] and in bulk by the fast-forward skip.
+    fn account_stalled(&mut self, hit: Option<HitWhere>, n: u64) {
+        let b = &mut self.breakdown;
         match hit {
-            Some(HitWhere::Mem) | Some(HitWhere::MemPartial) => b.l3_miss += 1,
-            Some(HitWhere::L3) | Some(HitWhere::L3Partial) => b.l2_miss += 1,
-            Some(HitWhere::L2) | Some(HitWhere::L2Partial) => b.l1_miss += 1,
-            _ => b.other += 1,
+            Some(HitWhere::Mem) | Some(HitWhere::MemPartial) => b.l3_miss += n,
+            Some(HitWhere::L3) | Some(HitWhere::L3Partial) => b.l2_miss += n,
+            Some(HitWhere::L2) | Some(HitWhere::L2Partial) => b.l1_miss += n,
+            _ => b.other += n,
         }
     }
 }
@@ -952,6 +1154,19 @@ pub fn simulate(prog: &Program, cfg: &MachineConfig) -> SimResult {
 pub fn simulate_reference(prog: &Program, cfg: &MachineConfig) -> SimResult {
     let mut e = Engine::new(prog, cfg);
     e.reference = true;
+    e.fast_forward = false;
+    e.run()
+}
+
+/// Run `prog` with the event-driven clock fast-forward disabled: every
+/// cycle is stepped individually, as the engine did before skips existed.
+///
+/// This exists so differential tests (and the `perf_report` timing
+/// comparison) can pit the fast-forward engine against the stepped one;
+/// the two must produce byte-identical [`SimResult`]s.
+pub fn simulate_stepped(prog: &Program, cfg: &MachineConfig) -> SimResult {
+    let mut e = Engine::new(prog, cfg);
+    e.fast_forward = false;
     e.run()
 }
 
@@ -973,7 +1188,27 @@ pub fn simulate_traced(
     cfg: &MachineConfig,
     targets: &[(ssp_ir::InstTag, ssp_ir::InstTag)],
 ) -> (SimResult, ssp_trace::SimTrace) {
+    traced_impl(prog, cfg, targets, true)
+}
+
+/// [`simulate_traced`] with the clock fast-forward disabled; for
+/// differential tests that the telemetry classification is skip-proof.
+pub fn simulate_traced_stepped(
+    prog: &Program,
+    cfg: &MachineConfig,
+    targets: &[(ssp_ir::InstTag, ssp_ir::InstTag)],
+) -> (SimResult, ssp_trace::SimTrace) {
+    traced_impl(prog, cfg, targets, false)
+}
+
+fn traced_impl(
+    prog: &Program,
+    cfg: &MachineConfig,
+    targets: &[(ssp_ir::InstTag, ssp_ir::InstTag)],
+    fast_forward: bool,
+) -> (SimResult, ssp_trace::SimTrace) {
     let mut e = Engine::new(prog, cfg);
+    e.fast_forward = fast_forward;
     e.telemetry = Some(Box::new(Telemetry::new(prog, cfg, targets)));
     e.run_to_end();
     let tel = e.telemetry.take().expect("telemetry installed above");
@@ -999,7 +1234,27 @@ pub fn simulate_snapshot(
     cfg: &MachineConfig,
     tag_bound: u32,
 ) -> (SimResult, ArchSnapshot) {
+    snapshot_impl(prog, cfg, tag_bound, true)
+}
+
+/// [`simulate_snapshot`] with the clock fast-forward disabled; for
+/// differential tests that skips preserve final architectural state.
+pub fn simulate_snapshot_stepped(
+    prog: &Program,
+    cfg: &MachineConfig,
+    tag_bound: u32,
+) -> (SimResult, ArchSnapshot) {
+    snapshot_impl(prog, cfg, tag_bound, false)
+}
+
+fn snapshot_impl(
+    prog: &Program,
+    cfg: &MachineConfig,
+    tag_bound: u32,
+    fast_forward: bool,
+) -> (SimResult, ArchSnapshot) {
     let mut e = Engine::new(prog, cfg);
+    e.fast_forward = fast_forward;
     e.snap = Some(Box::new(SnapshotRec::new(tag_bound)));
     e.run_to_end();
     let rec = e.snap.take().expect("snapshot recorder installed above");

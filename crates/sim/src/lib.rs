@@ -62,7 +62,10 @@ mod telemetry;
 pub use cache::{AccessResult, Hierarchy, HitWhere};
 pub use config::{CacheConfig, MachineConfig, MemoryMode, PipelineKind};
 pub use decode::{DecodedInst, DecodedProgram};
-pub use engine::{simulate, simulate_reference, simulate_snapshot, simulate_traced, Engine};
+pub use engine::{
+    simulate, simulate_reference, simulate_snapshot, simulate_snapshot_stepped, simulate_stepped,
+    simulate_traced, simulate_traced_stepped, Engine,
+};
 pub use mem::{LiveInBuffer, Memory, LIB_NO_SLOT};
 pub use profile::{profile, LoadProfile, Profile};
 pub use snapshot::{ArchSnapshot, TrapKind};

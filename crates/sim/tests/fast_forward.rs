@@ -1,0 +1,93 @@
+//! Differential tests of the event-driven clock fast-forward: the
+//! skipping engine must be byte-identical to the stepped engine on every
+//! observable output — `SimResult` (all fields, including the Figure-10
+//! stall breakdown), architectural snapshots, and telemetry traces.
+//!
+//! Machine configs are cycle-capped because tier-1 runs this in a debug
+//! build; equivalence does not depend on the cap (and one test checks
+//! the cap interaction explicitly).
+
+use ssp_sim::{
+    simulate, simulate_snapshot, simulate_snapshot_stepped, simulate_stepped, simulate_traced,
+    simulate_traced_stepped, MachineConfig,
+};
+
+const SEED: u64 = 2002;
+
+fn capped(mut mc: MachineConfig, max: u64) -> MachineConfig {
+    mc.max_cycles = max;
+    mc
+}
+
+fn machines(max: u64) -> [(&'static str, MachineConfig); 2] {
+    [
+        ("in-order", capped(MachineConfig::in_order(), max)),
+        ("out-of-order", capped(MachineConfig::out_of_order(), max)),
+    ]
+}
+
+#[test]
+fn workload_baselines_match_stepped_engine() {
+    for w in ssp_workloads::suite(SEED) {
+        for (model, cfg) in machines(120_000) {
+            let fast = simulate(&w.program, &cfg);
+            let stepped = simulate_stepped(&w.program, &cfg);
+            assert_eq!(fast, stepped, "{} on {model}: fast-forward diverged", w.name);
+        }
+    }
+}
+
+#[test]
+fn snapshots_match_stepped_engine() {
+    for w in ssp_workloads::suite(SEED) {
+        for (model, cfg) in machines(120_000) {
+            let bound = w.program.next_tag;
+            let (fr, fs) = simulate_snapshot(&w.program, &cfg, bound);
+            let (sr, ss) = simulate_snapshot_stepped(&w.program, &cfg, bound);
+            assert_eq!(fr, sr, "{} on {model}: snapshot-run stats diverged", w.name);
+            assert_eq!(fs, ss, "{} on {model}: architectural snapshot diverged", w.name);
+        }
+    }
+}
+
+#[test]
+fn telemetry_matches_stepped_engine() {
+    // Tracing attaches the `Telemetry` side-structure; the skip must not
+    // change any prefetch-timeliness classification. Empty target map:
+    // baseline programs have no SSP prefetches, but demand-load records
+    // and totals still flow through the telemetry path.
+    let w = ssp_workloads::by_name("mcf", SEED).expect("known workload");
+    for (model, cfg) in machines(120_000) {
+        let (fr, ft) = simulate_traced(&w.program, &cfg, &[]);
+        let (sr, st) = simulate_traced_stepped(&w.program, &cfg, &[]);
+        assert_eq!(fr, sr, "{model}: traced-run stats diverged");
+        assert_eq!(ft, st, "{model}: telemetry trace diverged");
+    }
+}
+
+#[test]
+fn cycle_cap_clamps_the_jump() {
+    // A cap small enough to land mid-run — and, on the memory-bound
+    // workloads, mid-stall: a fast-forward jump in flight when the cap
+    // hits must be clamped to it, not sail past. Several odd caps make
+    // it overwhelmingly likely at least one falls inside a skip window.
+    for w in ssp_workloads::suite(SEED) {
+        for cap in [997, 5_003, 20_011] {
+            for (model, cfg) in machines(cap) {
+                let fast = simulate(&w.program, &cfg);
+                let stepped = simulate_stepped(&w.program, &cfg);
+                assert_eq!(
+                    fast.total_cycles, stepped.total_cycles,
+                    "{} on {model} cap={cap}: total_cycles diverged",
+                    w.name
+                );
+                assert!(
+                    fast.total_cycles <= cap,
+                    "{} on {model} cap={cap}: jump escaped the cycle cap",
+                    w.name
+                );
+                assert_eq!(fast, stepped, "{} on {model} cap={cap}: stats diverged", w.name);
+            }
+        }
+    }
+}

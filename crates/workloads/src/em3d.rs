@@ -78,7 +78,7 @@ pub fn build(seed: u64) -> Workload {
     f.at(exit).halt();
 
     let main = f.finish();
-    Workload { name: "em3d", program: pb.finish_with(main) }
+    Workload { name: "em3d", seed, program: pb.finish_with(main) }
 }
 
 #[cfg(test)]

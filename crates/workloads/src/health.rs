@@ -128,7 +128,7 @@ pub fn build(seed: u64) -> Workload {
 
     pb.install(m);
     pb.install(vi);
-    Workload { name: "health", program: pb.finish(main_id) }
+    Workload { name: "health", seed, program: pb.finish(main_id) }
 }
 
 #[cfg(test)]

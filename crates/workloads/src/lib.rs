@@ -42,6 +42,10 @@ use std::fmt;
 pub struct Workload {
     /// Benchmark name as used in the paper's figures.
     pub name: &'static str,
+    /// The RNG seed the builder expanded the data structures from.
+    /// `(name, seed)` identifies the program bit-for-bit, which lets
+    /// `ssp-bench` key its baseline-simulation cache on it.
+    pub seed: u64,
     /// The program (with its initialized data image).
     pub program: Program,
 }

@@ -78,7 +78,7 @@ pub fn build(seed: u64) -> Workload {
     f.at(exit).movi(Reg(80), GLOBALS as i64).st(best, Reg(80), 0).st(barc, Reg(80), 8).halt();
 
     let main = f.finish();
-    Workload { name: "mcf", program: pb.finish_with(main) }
+    Workload { name: "mcf", seed, program: pb.finish_with(main) }
 }
 
 #[cfg(test)]

@@ -102,7 +102,7 @@ pub fn build(seed: u64) -> Workload {
 
     pb.install(main);
     pb.install(h);
-    Workload { name: "mst", program: pb.finish(main_id) }
+    Workload { name: "mst", seed, program: pb.finish(main_id) }
 }
 
 #[cfg(test)]

@@ -85,7 +85,7 @@ pub fn build_df(seed: u64) -> Workload {
 
     pb.install(m);
     pb.install(s);
-    Workload { name: "treeadd.df", program: pb.finish(main_id) }
+    Workload { name: "treeadd.df", seed, program: pb.finish(main_id) }
 }
 
 /// Breadth-first variant: an explicit FIFO queue of node pointers.
@@ -132,7 +132,7 @@ pub fn build_bf(seed: u64) -> Workload {
     f.at(exit).movi(Reg(80), GLOBALS as i64).st(sum, Reg(80), 0).halt();
 
     let main = f.finish();
-    Workload { name: "treeadd.bf", program: pb.finish_with(main) }
+    Workload { name: "treeadd.bf", seed, program: pb.finish_with(main) }
 }
 
 #[cfg(test)]

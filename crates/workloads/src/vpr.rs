@@ -81,7 +81,7 @@ pub fn build(seed: u64) -> Workload {
     f.at(exit).movi(Reg(80), GLOBALS as i64).st(cost, Reg(80), 0).halt();
 
     let main = f.finish();
-    Workload { name: "vpr", program: pb.finish_with(main) }
+    Workload { name: "vpr", seed, program: pb.finish_with(main) }
 }
 
 #[cfg(test)]
