@@ -20,6 +20,8 @@
 //! who wins, by roughly what factor, where the crossovers fall — is the
 //! reproduction target recorded in EXPERIMENTS.md.
 
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod hand;
 pub mod parallel;

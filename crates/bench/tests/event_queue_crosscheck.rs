@@ -1,0 +1,59 @@
+//! Event-queue regression suite over the surfaces only the bench crate
+//! can reach: SSP-adapted binaries (which exercise spawns, kills and the
+//! multi-context schedule) and the checked-in fuzz corpus. Each run uses
+//! [`ssp_sim::simulate_crosschecked`], so every incremental next-event
+//! computation is verified in-flight against a brute-force O(ROB) rescan
+//! — the engine panics on the first divergence — and the final
+//! statistics must still match the stepped oracle byte for byte.
+
+use ssp_core::{AdaptOptions, MachineConfig, PostPassTool};
+use ssp_sim::{simulate_crosschecked, simulate_stepped};
+
+const CORPUS: &str = include_str!("../../../tests/corpus/adaptation_oracle.corpus");
+
+fn capped(mut mc: MachineConfig, max: u64) -> MachineConfig {
+    mc.max_cycles = max;
+    mc
+}
+
+fn machines(max: u64) -> [(&'static str, MachineConfig); 2] {
+    [
+        ("in-order", capped(MachineConfig::in_order(), max)),
+        ("out-of-order", capped(MachineConfig::out_of_order(), max)),
+    ]
+}
+
+#[test]
+fn event_queues_match_brute_force_rescan_on_adapted_workloads() {
+    let ws = ssp_workloads::suite(ssp_bench::SEED);
+    let opts = AdaptOptions::default();
+    for w in &ws {
+        let adapted = PostPassTool::new(MachineConfig::in_order())
+            .with_options(opts.clone())
+            .run(&w.program)
+            .expect("adaptation succeeds");
+        for (model, cfg) in machines(120_000) {
+            let checked = simulate_crosschecked(&adapted.program, &cfg);
+            let stepped = simulate_stepped(&adapted.program, &cfg);
+            assert_eq!(
+                checked, stepped,
+                "{} adapted on {model}: crosschecked run diverged",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn event_queues_match_brute_force_rescan_on_fuzz_corpus() {
+    let specs = ssp_fuzz::corpus::parse(CORPUS).expect("corpus parses");
+    assert!(specs.len() >= 8, "seed corpus present");
+    for spec in &specs {
+        let prog = ssp_fuzz::gen::generate(spec).expect("corpus entries generate");
+        for (model, cfg) in machines(120_000) {
+            let checked = simulate_crosschecked(&prog, &cfg);
+            let stepped = simulate_stepped(&prog, &cfg);
+            assert_eq!(checked, stepped, "{spec} on {model}: crosschecked run diverged");
+        }
+    }
+}

@@ -7,6 +7,8 @@
 //! p-slice (via [`ssp_sched`]), places a trigger (via [`ssp_trigger`]),
 //! and rewrites the binary with stub and slice attachments ([`emit`]).
 
+#![warn(missing_docs)]
+
 pub mod emit;
 pub mod select;
 

@@ -139,47 +139,151 @@ pub enum FAluKind {
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Op {
     /// `dst = imm`.
-    Movi { dst: Reg, imm: i64 },
+    Movi {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value.
+        imm: i64,
+    },
     /// `dst = src`.
-    Mov { dst: Reg, src: Reg },
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
     /// `dst = a <kind> b`.
-    Alu { kind: AluKind, dst: Reg, a: Reg, b: Operand },
+    Alu {
+        /// Operation kind.
+        kind: AluKind,
+        /// Destination register.
+        dst: Reg,
+        /// First operand register.
+        a: Reg,
+        /// Second operand.
+        b: Operand,
+    },
     /// `dst = (a <kind> b) ? 1 : 0`.
-    Cmp { kind: CmpKind, dst: Reg, a: Reg, b: Operand },
+    Cmp {
+        /// Operation kind.
+        kind: CmpKind,
+        /// Destination register.
+        dst: Reg,
+        /// First operand register.
+        a: Reg,
+        /// Second operand.
+        b: Operand,
+    },
     /// `dst = a <kind> b` over `f64` bit patterns.
-    FAlu { kind: FAluKind, dst: Reg, a: Reg, b: Reg },
+    FAlu {
+        /// Operation kind.
+        kind: FAluKind,
+        /// Destination register.
+        dst: Reg,
+        /// First operand register.
+        a: Reg,
+        /// Second operand register.
+        b: Reg,
+    },
     /// `dst = mem[base + off]` (8 bytes).
-    Ld { dst: Reg, base: Reg, off: i64 },
+    Ld {
+        /// Destination register.
+        dst: Reg,
+        /// Base-address register.
+        base: Reg,
+        /// Byte offset from `base`.
+        off: i64,
+    },
     /// `mem[base + off] = src` (8 bytes).
-    St { src: Reg, base: Reg, off: i64 },
+    St {
+        /// Source register.
+        src: Reg,
+        /// Base-address register.
+        base: Reg,
+        /// Byte offset from `base`.
+        off: i64,
+    },
     /// Prefetch the line containing `base + off` into L1 (Itanium `lfetch`).
     /// Never faults, never stalls the issuing thread on a miss.
-    Lfetch { base: Reg, off: i64 },
+    Lfetch {
+        /// Base-address register.
+        base: Reg,
+        /// Byte offset from `base`.
+        off: i64,
+    },
     /// Unconditional branch.
-    Br { target: BlockId },
+    Br {
+        /// Branch target block.
+        target: BlockId,
+    },
     /// Conditional branch: to `if_true` when `pred != 0`, else `if_false`.
-    BrCond { pred: Reg, if_true: BlockId, if_false: BlockId },
+    BrCond {
+        /// Predicate register (taken when nonzero).
+        pred: Reg,
+        /// Target when the predicate is nonzero.
+        if_true: BlockId,
+        /// Target when the predicate is zero.
+        if_false: BlockId,
+    },
     /// Direct call. `nargs` register arguments are live at the call.
-    Call { callee: FuncId, nargs: u16 },
+    Call {
+        /// Called function.
+        callee: FuncId,
+        /// Number of live register arguments.
+        nargs: u16,
+    },
     /// Indirect call through a register holding a function id, as produced
     /// by [`Op::Movi`] with [`FuncId::as_value`]. The paper instruments
     /// these to recover the dynamic call graph during profiling.
-    CallInd { target: Reg, nargs: u16 },
+    CallInd {
+        /// Register holding the callee's function id.
+        target: Reg,
+        /// Number of live register arguments.
+        nargs: u16,
+    },
     /// Return to the caller.
     Ret,
     /// SSP trigger: raise to `stub` if a hardware context is free.
-    ChkC { stub: BlockId },
+    ChkC {
+        /// Stub block the trigger raises to.
+        stub: BlockId,
+    },
     /// Spawn a speculative thread at `entry`, passing the live-in slot
     /// currently in `slot` to the child's [`conv::SLOT`] register.
-    Spawn { entry: BlockId, slot: Reg },
+    Spawn {
+        /// Entry block of the spawned slice.
+        entry: BlockId,
+        /// Register holding the live-in buffer slot.
+        slot: Reg,
+    },
     /// Allocate a live-in buffer slot into `dst`.
-    LibAlloc { dst: Reg },
+    LibAlloc {
+        /// Destination register.
+        dst: Reg,
+    },
     /// Store `src` into word `idx` of live-in slot `slot`.
-    LibSt { slot: Reg, idx: u8, src: Reg },
+    LibSt {
+        /// Register holding the live-in buffer slot.
+        slot: Reg,
+        /// Word index within the slot.
+        idx: u8,
+        /// Source register.
+        src: Reg,
+    },
     /// Load word `idx` of live-in slot `slot` into `dst`.
-    LibLd { dst: Reg, slot: Reg, idx: u8 },
+    LibLd {
+        /// Destination register.
+        dst: Reg,
+        /// Register holding the live-in buffer slot.
+        slot: Reg,
+        /// Word index within the slot.
+        idx: u8,
+    },
     /// Release live-in slot `slot`.
-    LibFree { slot: Reg },
+    LibFree {
+        /// Register holding the live-in buffer slot.
+        slot: Reg,
+    },
     /// Terminate the executing (speculative) thread.
     KillThread,
     /// Mark the start of the timed region of interest.

@@ -45,6 +45,8 @@
 //! assert!(ssp_ir::verify::verify(&prog).is_ok());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod builder;
 pub mod callgraph;
 pub mod cfg;

@@ -11,6 +11,8 @@
 //! emits the order. [`slack`] implements the paper's slack equations and
 //! the reduced-miss-cycle objective that drives region selection.
 
+#![warn(missing_docs)]
+
 pub mod scc;
 pub mod schedule;
 pub mod slack;

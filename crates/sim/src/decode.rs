@@ -14,6 +14,7 @@
 //! backs [`Op::uses_into`], so stall-reporting order is identical by
 //! construction.
 
+use crate::exec::{RegMask, MASK_WORDS};
 use ssp_ir::inst::MAX_USES;
 use ssp_ir::{InstRef, InstTag, Op, Program, Reg};
 
@@ -56,6 +57,11 @@ pub struct DecodedInst {
     uses: [Reg; MAX_USES],
     /// Number of valid entries in `uses`.
     n_uses: u8,
+    /// The source registers as a bitset — the operand mask the fast
+    /// engine intersects with the thread's pending-register scoreboard
+    /// ([`crate::exec::Scoreboard`]) so the all-sources-ready check is
+    /// two word ANDs instead of a per-operand walk.
+    pub use_mask: RegMask,
     /// Which functional unit executes this instruction.
     pub fu: FuClass,
     /// Profile identity (avoids re-walking the program for loads).
@@ -72,9 +78,14 @@ impl DecodedInst {
     fn new(op: &Op, tag: InstTag) -> Self {
         let mut uses = [Reg(0); MAX_USES];
         let n_uses = op.uses_fixed(&mut uses) as u8;
+        let mut use_mask = [0u64; MASK_WORDS];
+        for u in &uses[..n_uses as usize] {
+            use_mask[u.index() / 64] |= 1u64 << (u.index() % 64);
+        }
         DecodedInst {
             uses,
             n_uses,
+            use_mask,
             fu: fu_class(op),
             tag,
             is_load: op.is_load(),
@@ -177,6 +188,11 @@ mod tests {
                     let r = InstRef { func: fid, block: bid, idx: i };
                     let e = d.get(r);
                     assert_eq!(e.uses(), inst.op.uses().as_slice(), "at {r}");
+                    let mut mask = [0u64; MASK_WORDS];
+                    for u in inst.op.uses() {
+                        mask[u.index() / 64] |= 1u64 << (u.index() % 64);
+                    }
+                    assert_eq!(e.use_mask, mask, "at {r}");
                     assert_eq!(e.fu, fu_class(&inst.op), "at {r}");
                     assert_eq!(e.tag, inst.tag, "at {r}");
                     assert_eq!(e.is_load, inst.op.is_load(), "at {r}");

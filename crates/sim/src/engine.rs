@@ -29,19 +29,21 @@ use crate::branch::{static_pc, Btb, Gshare};
 use crate::cache::{Hierarchy, HitWhere};
 use crate::config::{MachineConfig, MemoryMode, PipelineKind};
 use crate::decode::{fu_class, DecodedProgram, FuClass};
-use crate::exec::{alu_eval, cmp_eval, falu_eval, RegFile};
+use crate::exec::{alu_eval, cmp_eval, falu_eval, RegFile, Scoreboard};
 use crate::mem::{LiveInBuffer, Memory, LIB_NO_SLOT};
 use crate::snapshot::{ArchSnapshot, SnapshotRec, TrapKind};
-use crate::stats::SimResult;
+use crate::stats::{SimResult, WindowStats};
 use crate::stride::StridePrefetcher;
 use crate::telemetry::Telemetry;
+use crate::window::BatchOutcome;
 use ssp_ir::reg::{conv, NUM_REGS};
 use ssp_ir::{BlockId, FuncId, InstRef, Op, Program};
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Why a thread could not issue/dispatch this cycle.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum StallReason {
+pub(crate) enum StallReason {
     /// Waiting on a source register; payload is the producing load's hit
     /// level if the producer was a load.
     SrcNotReady(Option<HitWhere>),
@@ -59,28 +61,55 @@ enum StallReason {
 }
 
 #[derive(Clone, Copy, Debug)]
-struct RobEntry {
+pub(crate) struct RobEntry {
     /// When the instruction leaves the reservation station (issues).
-    start_at: u64,
-    complete_at: u64,
-    is_load: bool,
-    hit: Option<HitWhere>,
+    pub(crate) start_at: u64,
+    pub(crate) complete_at: u64,
+    pub(crate) is_load: bool,
+    pub(crate) hit: Option<HitWhere>,
 }
 
 #[derive(Clone, Debug)]
-struct Thread {
-    rf: RegFile,
-    pc: Option<InstRef>,
-    call_stack: Vec<InstRef>,
-    reg_ready: [u64; NUM_REGS],
-    reg_src: [Option<HitWhere>; NUM_REGS],
-    fetch_ready: u64,
-    speculative: bool,
-    insts: u64,
-    owned_slot: Option<u64>,
-    rob: VecDeque<RobEntry>,
+pub(crate) struct Thread {
+    pub(crate) rf: RegFile,
+    pub(crate) pc: Option<InstRef>,
+    pub(crate) call_stack: Vec<InstRef>,
+    pub(crate) sb: Scoreboard,
+    pub(crate) fetch_ready: u64,
+    pub(crate) speculative: bool,
+    pub(crate) insts: u64,
+    pub(crate) owned_slot: Option<u64>,
+    pub(crate) rob: VecDeque<RobEntry>,
     /// In-order bookkeeping: outstanding load misses `(ready_at, level)`.
-    outstanding: Vec<(u64, HitWhere)>,
+    pub(crate) outstanding: Vec<(u64, HitWhere)>,
+    /// Fast-engine event queue: reservation-station leave times
+    /// (`start_at`) of dispatched instructions that were still waiting
+    /// for operands when they entered the ROB. Times only move forward,
+    /// so entries at or before the present are popped lazily on query
+    /// and each dispatch is amortised O(log RS) instead of the O(ROB)
+    /// occupancy rescan the stepped oracle performs. Maintained only by
+    /// the fast engine; the stepped twin keeps the scans.
+    pub(crate) rs_waiting: BinaryHeap<Reverse<u64>>,
+    /// Fast-engine event queue: `(complete_at, hit)` of every dispatched
+    /// load, in program order. The front (after lazily dropping
+    /// completed entries) is the oldest outstanding load — the
+    /// reservation-station stall payload.
+    pub(crate) loads_q: VecDeque<(u64, HitWhere)>,
+    /// Fast-engine event queue: completion times of dispatched loads
+    /// that missed L1, in program order; non-empty after lazy popping
+    /// means a miss is outstanding (the Figure-10 `cache_exec` test).
+    pub(crate) missload_q: VecDeque<u64>,
+    /// Fast-engine wakeup cache: a proven lower bound on the next cycle
+    /// this thread could issue, set when an issue attempt stalls on an
+    /// event with a known time ([`Engine::spec_blocked_until`]). While
+    /// `blocked_until > cycle` the scheduler skips the thread with one
+    /// compare instead of re-deriving the stall from the scoreboard or
+    /// occupancy queues every cycle. The bound stays valid while the
+    /// thread sleeps because everything it waits on is thread-local and
+    /// monotone: its scoreboard and queues are written only by its own
+    /// dispatch, and ready/completion times never move. Maintained only
+    /// by the fast engine; the stepped oracle re-derives every stall.
+    pub(crate) blocked_until: u64,
 }
 
 impl Thread {
@@ -89,42 +118,116 @@ impl Thread {
             rf: RegFile::new(),
             pc: None,
             call_stack: Vec::new(),
-            reg_ready: [0; NUM_REGS],
-            reg_src: [None; NUM_REGS],
+            sb: Scoreboard::new(),
             fetch_ready: 0,
             speculative: false,
             insts: 0,
             owned_slot: None,
             rob: VecDeque::new(),
             outstanding: Vec::new(),
+            rs_waiting: BinaryHeap::new(),
+            loads_q: VecDeque::new(),
+            missload_q: VecDeque::new(),
+            blocked_until: 0,
         }
     }
 
-    fn active(&self) -> bool {
+    pub(crate) fn active(&self) -> bool {
         self.pc.is_some()
     }
 
+    /// Reference implementation of the outstanding-miss test: O(ROB)
+    /// rescan, used by the stepped oracle.
     fn has_outstanding_miss(&self, now: u64) -> bool {
         self.outstanding.iter().any(|&(r, h)| r > now && h.is_l1_miss())
             || self.rob.iter().any(|e| {
                 e.is_load && e.complete_at > now && e.hit.is_some_and(HitWhere::is_l1_miss)
             })
     }
+
+    /// Fast-engine outstanding-miss test: pops expired miss completions
+    /// and answers from queue emptiness — amortised O(1). Agrees with
+    /// [`Thread::has_outstanding_miss`] by construction (entries are
+    /// popped exactly when the rescan would stop counting them; a load
+    /// cannot commit before it completes, so a queue entry never
+    /// outlives its ROB entry observably).
+    pub(crate) fn has_miss_fast(&mut self, now: u64) -> bool {
+        while let Some(&c) = self.missload_q.front() {
+            if c > now {
+                break;
+            }
+            self.missload_q.pop_front();
+        }
+        !self.missload_q.is_empty()
+            || self.outstanding.iter().any(|&(r, h)| r > now && h.is_l1_miss())
+    }
+
+    /// Number of dispatched instructions still waiting for operands
+    /// (reservation-station occupancy), via the monotone event queue.
+    pub(crate) fn rs_waiting_count(&mut self, now: u64) -> usize {
+        while let Some(&Reverse(t)) = self.rs_waiting.peek() {
+            if t > now {
+                break;
+            }
+            self.rs_waiting.pop();
+        }
+        self.rs_waiting.len()
+    }
+
+    /// The oldest dispatched load still outstanding at `now`, via the
+    /// monotone event queue: `(complete_at, hit)`.
+    pub(crate) fn first_outstanding_load(&mut self, now: u64) -> Option<(u64, HitWhere)> {
+        while let Some(&(c, _)) = self.loads_q.front() {
+            if c > now {
+                break;
+            }
+            self.loads_q.pop_front();
+        }
+        self.loads_q.front().copied()
+    }
+}
+
+/// Replicate the per-cycle in-order commit the stepped engine would
+/// perform for one thread over the window `[from, to]` (both
+/// inclusive), in one pass: entry `k` pops at the later of its
+/// completion time and the cycle commit bandwidth (`width` per cycle)
+/// reaches it.
+pub(crate) fn drain_thread(t: &mut Thread, width: usize, from: u64, to: u64) {
+    let mut at_cycle = from;
+    let mut used = 0usize;
+    while let Some(e) = t.rob.front() {
+        if e.complete_at > to {
+            break;
+        }
+        if e.complete_at > at_cycle {
+            at_cycle = e.complete_at;
+            used = 0;
+        }
+        if used == width {
+            at_cycle += 1;
+            used = 0;
+            if at_cycle > to {
+                break;
+            }
+        }
+        t.rob.pop_front();
+        used += 1;
+    }
 }
 
 /// What one simulated cycle did — the inputs to the event-driven
 /// fast-forward decision in [`Engine::run_to_end`].
-struct StepOutcome {
+pub(crate) struct StepOutcome {
     /// The program halted this cycle.
-    halt: bool,
+    pub(crate) halt: bool,
     /// Instructions issued across *all* threads this cycle. Zero means
     /// every active thread was gated on a known future timestamp, which
     /// is exactly when the clock may jump.
-    issued: usize,
+    pub(crate) issued: usize,
     /// The main thread's stall classification (`None` when it issued or
     /// is inactive). Constant across a legal skip window, so skipped
     /// cycles are bulk-accounted under the same Figure-10 bucket.
-    main_stall: Option<StallReason>,
+    pub(crate) main_stall: Option<StallReason>,
 }
 
 /// What the engine should do after executing one instruction.
@@ -142,61 +245,74 @@ enum Flow {
 /// The simulation engine. Construct with [`Engine::new`], run with
 /// [`Engine::run`].
 pub struct Engine<'a> {
-    prog: &'a Program,
+    pub(crate) prog: &'a Program,
     /// Pre-decoded side table: FU class, use lists, flags, and tags,
     /// computed once so the cycle loop allocates nothing.
-    decode: DecodedProgram,
+    pub(crate) decode: DecodedProgram,
     /// When set, re-derive use lists and FU classes from the [`Op`] on
     /// every issue (the pre-optimization behaviour). Only differential
     /// tests use this; results must be bit-identical to the fast path.
-    reference: bool,
+    pub(crate) reference: bool,
     /// When set (the default), the cycle loop jumps over windows where
     /// no thread can issue: if every active thread is gated on a known
     /// future timestamp (`fetch_ready`, a source register's ready time,
     /// or a ROB entry's issue/completion time), the clock advances
     /// straight to the earliest such event and the skipped cycles are
-    /// bulk-accounted. Every statistic, snapshot, and telemetry
-    /// classification is byte-identical to the stepped engine; the
-    /// stepped twins ([`simulate_stepped`] and friends) exist so
-    /// differential tests can assert exactly that.
-    fast_forward: bool,
-    /// Don't attempt a fast-forward before this cycle. Set after an
-    /// unproductive skip attempt on the OOO model, where the next-event
-    /// scan is O(ROB) per attempt and stall windows can be fragmented
-    /// into jumps too small to pay for it. Pure throttle: a suppressed
-    /// attempt just means stepping, which is always legal.
-    ff_backoff_until: u64,
-    cfg: &'a MachineConfig,
-    mem: Memory,
-    lib: LiveInBuffer,
-    hier: Hierarchy,
-    gshare: Gshare,
-    btb: Btb,
-    threads: Vec<Thread>,
-    cycle: u64,
-    in_roi: bool,
+    /// bulk-accounted. It also enables the busy-window batcher
+    /// ([`crate::window`]) and the incremental event queues backing
+    /// both. Every statistic, snapshot, and telemetry classification is
+    /// byte-identical to the stepped engine; the stepped twins
+    /// ([`simulate_stepped`] and friends) keep the original O(ROB)
+    /// scans as the semantic oracle, so differential tests can assert
+    /// exactly that.
+    pub(crate) fast_forward: bool,
+    /// When set, every fast next-event query is cross-checked against
+    /// the brute-force O(ROB) rescan and any disagreement panics — the
+    /// property-test hook behind [`simulate_crosschecked`].
+    pub(crate) crosscheck: bool,
+    pub(crate) cfg: &'a MachineConfig,
+    pub(crate) mem: Memory,
+    pub(crate) lib: LiveInBuffer,
+    pub(crate) hier: Hierarchy,
+    pub(crate) gshare: Gshare,
+    pub(crate) btb: Btb,
+    pub(crate) threads: Vec<Thread>,
+    pub(crate) cycle: u64,
+    pub(crate) in_roi: bool,
     /// Whether the program contains ROI markers at all; if not, the whole
     /// run is the region of interest.
-    has_roi: bool,
-    result: SimResult,
+    pub(crate) has_roi: bool,
+    pub(crate) result: SimResult,
     /// Per-cycle FU use (in-order); OOO books into `fu_ring`.
-    fu_used: [usize; 4],
-    fu_limits: [usize; 4],
+    pub(crate) fu_used: [usize; 4],
+    pub(crate) fu_limits: [usize; 4],
     /// OOO functional-unit booking for future cycles, indexed from
     /// `fu_ring_base`.
-    fu_ring: VecDeque<[u16; 4]>,
-    fu_ring_base: u64,
-    rr_next: usize,
-    stride: Option<StridePrefetcher>,
+    pub(crate) fu_ring: VecDeque<[u16; 4]>,
+    pub(crate) fu_ring_base: u64,
+    pub(crate) rr_next: usize,
+    pub(crate) stride: Option<StridePrefetcher>,
     /// Structured-trace collector, present only under
     /// [`simulate_traced`]. `None` (the default) keeps every telemetry
     /// hook to a single branch — no allocation, no time query — so the
     /// untraced cycle loop is unchanged.
-    telemetry: Option<Box<Telemetry>>,
+    pub(crate) telemetry: Option<Box<Telemetry>>,
     /// Architectural-state recorder, present only under
     /// [`simulate_snapshot`]. Same side-structure discipline as
     /// `telemetry`: `None` keeps every hook to a single branch.
-    snap: Option<Box<SnapshotRec>>,
+    pub(crate) snap: Option<Box<SnapshotRec>>,
+    /// Per-window instrumentation, present only under
+    /// [`simulate_windowed`]. Same side-structure discipline as the
+    /// recorders above; never feeds back into timing.
+    pub(crate) winstats: Option<Box<WindowStats>>,
+    /// Fast-engine cache of the main thread's stall classification while
+    /// it sleeps on an in-order source stall (`blocked_until > cycle`).
+    /// The payload is stable for the whole sleep: the thread's
+    /// scoreboard is written only by its own execution, so the first
+    /// unready source — and the cache level that produced it — cannot
+    /// change before the cached wakeup, which is exactly that source's
+    /// ready time.
+    pub(crate) main_sleep_stall: Option<StallReason>,
 }
 
 impl<'a> Engine<'a> {
@@ -217,7 +333,7 @@ impl<'a> Engine<'a> {
             decode: DecodedProgram::new(prog),
             reference: false,
             fast_forward: true,
-            ff_backoff_until: 0,
+            crosscheck: false,
             cfg,
             mem,
             lib: LiveInBuffer::new(cfg.lib_slots, cfg.lib_slot_words),
@@ -237,6 +353,8 @@ impl<'a> Engine<'a> {
             stride: cfg.stride_prefetcher.then(|| StridePrefetcher::new(cfg.stride_degree)),
             telemetry: None,
             snap: None,
+            winstats: None,
+            main_sleep_stall: None,
         }
     }
 
@@ -249,28 +367,47 @@ impl<'a> Engine<'a> {
     /// The body of [`Engine::run`], borrowed rather than consuming so
     /// [`simulate_traced`] can extract both the result and the trace.
     ///
-    /// Cycles where at least one instruction issues are stepped
-    /// normally. After a cycle where *nothing* issued anywhere, every
-    /// active thread is provably idle until a known future timestamp, so
-    /// (unless [`Engine::fast_forward`] is off) the clock jumps straight
-    /// to the earliest such event — clamped to the cycle cap — and the
-    /// skipped cycles are bulk-accounted under the stall bucket the
-    /// stepped engine would have charged each of them to.
+    /// The fast engine runs a three-regime loop:
+    ///
+    /// * **busy windows** — when every speculative context is provably
+    ///   unable to issue before a known horizon, the busy-window batcher
+    ///   ([`crate::window`]) runs a lean main-thread-only replica of the
+    ///   cycle loop up to that horizon;
+    /// * **idle skips** — after a cycle where *nothing* issued anywhere,
+    ///   every active thread is gated on a known future timestamp, so
+    ///   the clock jumps straight to the earliest such event (clamped to
+    ///   the cycle cap) and the skipped cycles are bulk-accounted under
+    ///   the stall bucket the stepped engine would have charged;
+    /// * **stepped cycles** — everything else goes through the full
+    ///   [`Engine::step_cycle`].
+    ///
+    /// With [`Engine::fast_forward`] off, only the third regime runs —
+    /// that is the stepped oracle the equivalence suite pits the other
+    /// two against, byte for byte.
     fn run_to_end(&mut self) {
         let max = if self.cfg.max_cycles == 0 { u64::MAX } else { self.cfg.max_cycles };
         let mut halted = false;
         while self.cycle < max {
+            if self.fast_forward {
+                match self.try_busy_window(max) {
+                    BatchOutcome::Halt => {
+                        halted = true;
+                        break;
+                    }
+                    BatchOutcome::Ran => continue,
+                    BatchOutcome::NotApplicable => {}
+                }
+            }
             let step = self.step_cycle();
+            if let Some(w) = self.winstats.as_deref_mut() {
+                w.stepped_cycles += 1;
+            }
             if step.halt {
                 halted = true;
                 break;
             }
             self.cycle += 1;
-            if self.fast_forward
-                && step.issued == 0
-                && self.cycle < max
-                && self.cycle >= self.ff_backoff_until
-            {
+            if self.fast_forward && step.issued == 0 && self.cycle < max {
                 self.fast_forward_clock(step.main_stall, max);
             }
         }
@@ -278,7 +415,7 @@ impl<'a> Engine<'a> {
         self.result.total_cycles = self.cycle;
     }
 
-    fn effective_roi(&self) -> bool {
+    pub(crate) fn effective_roi(&self) -> bool {
         !self.has_roi || self.in_roi
     }
 
@@ -289,65 +426,139 @@ impl<'a> Engine<'a> {
     /// nothing issues, nothing commits, and the main thread's stall
     /// reason (including its cache-level payload) is unchanged.
     ///
-    /// Returns `u64::MAX` when no active thread has a future event —
-    /// the machine can never make progress again and only the cycle cap
-    /// ends the run.
-    fn next_event_cycle(&self, now: u64) -> u64 {
+    /// Computed from the incremental per-thread event queues — O(active
+    /// threads) amortised, not O(ROB). Under [`Engine::crosscheck`],
+    /// every query is verified against [`Engine::thread_event_brute`],
+    /// the O(ROB) rescan spelling out the same event definition.
+    fn next_event_cycle(&mut self, now: u64) -> u64 {
         let mut ev = u64::MAX;
-        for t in &self.threads {
-            if !t.active() {
-                continue;
+        for tid in 0..self.threads.len() {
+            let fast = self.thread_event_fast(tid, now);
+            if self.crosscheck {
+                let brute = self.thread_event_brute(tid, now);
+                assert_eq!(
+                    fast, brute,
+                    "event-queue divergence: thread {tid}, now {now}: fast {fast} != brute {brute}"
+                );
+                assert!(fast > now, "thread {tid}: event {fast} not after now {now}");
             }
-            if t.fetch_ready > now {
-                // Front end redirecting: nothing else about this thread
-                // is observable before fetch resumes (its ROB keeps
-                // draining, which `drain_commits` replicates).
-                ev = ev.min(t.fetch_ready);
-                continue;
-            }
-            let soonest = match self.cfg.pipeline {
-                PipelineKind::InOrder => {
-                    // Stalled on a source register: the first unready
-                    // source (and with it the stall payload) can only
-                    // change when some unready source becomes ready.
-                    let Some(at) = t.pc else { continue };
-                    let mut soonest = u64::MAX;
-                    for &u in self.decode.get(at).uses() {
-                        let r = t.reg_ready[u.index()];
-                        if r > now {
-                            soonest = soonest.min(r);
-                        }
-                    }
-                    soonest
-                }
-                PipelineKind::OutOfOrder => {
-                    // Stalled on ROB/RS occupancy: the occupancy counts
-                    // and the blocking-load payloads can only change when
-                    // an entry issues (`start_at`) or completes
-                    // (`complete_at`). A leftover entry that already
-                    // completed pops at the very next commit.
-                    let mut soonest = u64::MAX;
-                    for e in &t.rob {
-                        if e.complete_at <= now {
-                            soonest = now + 1;
-                            break;
-                        }
-                        soonest = soonest.min(e.complete_at);
-                        if e.start_at > now {
-                            soonest = soonest.min(e.start_at);
-                        }
-                    }
-                    soonest
-                }
-            };
-            if soonest == u64::MAX {
-                // No future event found for a thread that just failed to
-                // issue — not supposed to happen; never skip past it.
-                return now + 1;
-            }
-            ev = ev.min(soonest);
+            ev = ev.min(fast);
         }
         ev
+    }
+
+    /// Per-thread next-event query backed by the incremental structures:
+    /// the earliest cycle strictly after `now` at which thread `tid`'s
+    /// issue eligibility or stall classification could change.
+    ///
+    /// The events, per pipeline:
+    ///
+    /// * inactive → `u64::MAX` (nothing will ever change);
+    /// * front end redirecting → `fetch_ready` (its ROB keeps draining,
+    ///   which [`Engine::drain_commits`] replicates);
+    /// * **in-order** → the earliest ready time among the current
+    ///   instruction's unready sources (bitset scoreboard query); if all
+    ///   are ready the thread was gated on something same-cycle-stable
+    ///   (e.g. a structural hazard), so `now + 1` guards the skip;
+    /// * **out-of-order** → the minimum of the head-commit event (the
+    ///   head's `complete_at`, or `now + 1` if it already completed and
+    ///   pops at the very next commit), the earliest future
+    ///   reservation-station leave time (`rs_waiting`), and the oldest
+    ///   outstanding load's completion (`loads_q`, which re-evaluates
+    ///   the RS-full stall payload). Interior non-load completions are
+    ///   *not* events: commit is in order, so no entry pops before the
+    ///   head completes, and occupancy counts only change at `start_at`
+    ///   boundaries.
+    pub(crate) fn thread_event_fast(&mut self, tid: usize, now: u64) -> u64 {
+        if !self.threads[tid].active() {
+            return u64::MAX;
+        }
+        if self.threads[tid].fetch_ready > now {
+            return self.threads[tid].fetch_ready;
+        }
+        let soonest = match self.cfg.pipeline {
+            PipelineKind::InOrder => {
+                let at = self.threads[tid].pc.expect("active thread has a pc");
+                let mask = self.decode.get(at).use_mask;
+                self.threads[tid].sb.min_ready(&mask, now)
+            }
+            PipelineKind::OutOfOrder => {
+                let t = &mut self.threads[tid];
+                match t.rob.front().copied() {
+                    None => u64::MAX,
+                    Some(head) => {
+                        let mut ev =
+                            if head.complete_at <= now { now + 1 } else { head.complete_at };
+                        while let Some(&Reverse(s)) = t.rs_waiting.peek() {
+                            if s > now {
+                                ev = ev.min(s);
+                                break;
+                            }
+                            t.rs_waiting.pop();
+                        }
+                        if let Some((c, _)) = t.first_outstanding_load(now) {
+                            ev = ev.min(c);
+                        }
+                        ev
+                    }
+                }
+            }
+        };
+        if soonest == u64::MAX {
+            // No future event found for a thread that just failed to
+            // issue — never skip past it.
+            now + 1
+        } else {
+            soonest
+        }
+    }
+
+    /// Brute-force O(ROB) rescan computing exactly the same per-thread
+    /// event as [`Engine::thread_event_fast`], straight from the
+    /// architectural bookkeeping with no incremental state. The
+    /// crosscheck harness ([`simulate_crosschecked`]) asserts the two
+    /// agree on every query of a run.
+    pub(crate) fn thread_event_brute(&self, tid: usize, now: u64) -> u64 {
+        let t = &self.threads[tid];
+        if !t.active() {
+            return u64::MAX;
+        }
+        if t.fetch_ready > now {
+            return t.fetch_ready;
+        }
+        let soonest = match self.cfg.pipeline {
+            PipelineKind::InOrder => {
+                let at = t.pc.expect("active thread has a pc");
+                let mut soonest = u64::MAX;
+                for &u in self.decode.get(at).uses() {
+                    let r = t.sb.ready_at(u);
+                    if r > now {
+                        soonest = soonest.min(r);
+                    }
+                }
+                soonest
+            }
+            PipelineKind::OutOfOrder => match t.rob.front() {
+                None => u64::MAX,
+                Some(head) => {
+                    let mut ev = if head.complete_at <= now { now + 1 } else { head.complete_at };
+                    for e in &t.rob {
+                        if e.start_at > now {
+                            ev = ev.min(e.start_at);
+                        }
+                    }
+                    if let Some(e) = t.rob.iter().find(|e| e.is_load && e.complete_at > now) {
+                        ev = ev.min(e.complete_at);
+                    }
+                    ev
+                }
+            },
+        };
+        if soonest == u64::MAX {
+            now + 1
+        } else {
+            soonest
+        }
     }
 
     /// Jump the clock from `self.cycle` (the first unsimulated cycle)
@@ -357,26 +568,19 @@ impl<'a> Engine<'a> {
     /// ROB commit draining.
     fn fast_forward_clock(&mut self, main_stall: Option<StallReason>, max: u64) {
         let target = self.next_event_cycle(self.cycle - 1).min(max);
-        // On the OOO model the scan above walks every ROB entry; when a
-        // stall window is fragmented into jumps too small to pay for
-        // that, stop rescanning for a while (stepping is always legal).
-        if self.cfg.pipeline == PipelineKind::OutOfOrder && target < self.cycle + 8 {
-            self.ff_backoff_until = self.cycle + 64;
-        }
         if target <= self.cycle {
             return;
         }
         let skipped = target - self.cycle;
+        if let Some(w) = self.winstats.as_deref_mut() {
+            w.record_idle(skipped);
+        }
         if self.cfg.pipeline == PipelineKind::OutOfOrder {
             self.drain_commits(self.cycle, target - 1);
         }
-        let n = self.threads.len();
-        if n > 1 {
-            // rr_next rotates every simulated cycle whether or not a
-            // speculative thread issues; apply `skipped` rotations.
-            let m = (n - 1) as u64;
-            self.rr_next = 1 + ((self.rr_next as u64 - 1 + skipped % m) % m) as usize;
-        }
+        // rr_next rotates every simulated cycle whether or not a
+        // speculative thread issues; apply `skipped` rotations.
+        self.rotate_rr(skipped);
         if self.effective_roi() {
             let hit = match main_stall {
                 Some(StallReason::SrcNotReady(h))
@@ -390,38 +594,29 @@ impl<'a> Engine<'a> {
         self.cycle = target;
     }
 
+    /// Apply `k` cycles' worth of speculative round-robin rotation in
+    /// closed form (equal to `k` applications of the per-cycle
+    /// `rr_next = 1 + rr_next % (n - 1)` step).
+    pub(crate) fn rotate_rr(&mut self, k: u64) {
+        let n = self.threads.len();
+        if n > 1 && k > 0 {
+            let m = (n - 1) as u64;
+            self.rr_next = 1 + ((self.rr_next as u64 - 1 + k % m) % m) as usize;
+        }
+    }
+
     /// Replicate the per-cycle in-order commit the stepped engine would
     /// perform over the skipped window `[from, to]` (both inclusive),
-    /// in one pass: entry `k` pops at the later of its completion time
-    /// and the cycle commit bandwidth reaches it.
-    fn drain_commits(&mut self, from: u64, to: u64) {
+    /// in one pass, for every thread.
+    pub(crate) fn drain_commits(&mut self, from: u64, to: u64) {
         let width = self.cfg.bundles_per_cycle * self.cfg.bundle_width;
         for t in &mut self.threads {
-            let mut at_cycle = from;
-            let mut used = 0usize;
-            while let Some(e) = t.rob.front() {
-                if e.complete_at > to {
-                    break;
-                }
-                if e.complete_at > at_cycle {
-                    at_cycle = e.complete_at;
-                    used = 0;
-                }
-                if used == width {
-                    at_cycle += 1;
-                    used = 0;
-                    if at_cycle > to {
-                        break;
-                    }
-                }
-                t.rob.pop_front();
-                used += 1;
-            }
+            drain_thread(t, width, from, to);
         }
     }
 
     /// Simulate one cycle.
-    fn step_cycle(&mut self) -> StepOutcome {
+    pub(crate) fn step_cycle(&mut self) -> StepOutcome {
         self.fu_used = [0; 4];
         self.advance_fu_ring();
 
@@ -443,26 +638,50 @@ impl<'a> Engine<'a> {
             main_stall = Some(StallReason::FetchWait);
         }
         if main_ready {
-            let (count, stall, halted) = self.issue_thread(0, width);
-            main_issued = count;
-            if count == 0 {
-                main_stall = stall;
-            }
-            halt = halted;
-            if count > 0 {
-                bundles_left -= 1;
+            if self.fast_forward && self.threads[0].blocked_until > self.cycle {
+                // Sleeping on an in-order source stall: reuse the cached
+                // classification instead of re-deriving it — the payload
+                // is provably constant until the cached wakeup.
+                main_stall = self.main_sleep_stall;
+            } else {
+                let (count, stall, halted) = self.issue_thread(0, width);
+                main_issued = count;
+                if count == 0 {
+                    main_stall = stall;
+                    if self.fast_forward
+                        && self.cfg.pipeline == PipelineKind::InOrder
+                        && matches!(stall, Some(StallReason::SrcNotReady(_)))
+                    {
+                        self.threads[0].blocked_until = self.spec_blocked_until(0);
+                        self.main_sleep_stall = stall;
+                    }
+                }
+                halt = halted;
+                if count > 0 {
+                    bundles_left -= 1;
+                }
             }
         }
         // Speculative threads, round-robin, one bundle each.
         if !halt && n > 1 {
             let start = self.rr_next;
-            self.rr_next = 1 + (self.rr_next % (n - 1));
-            for i in 0..n - 1 {
+            self.rr_next = if start + 1 < n { start + 1 } else { 1 };
+            let mut tid = start;
+            for _ in 0..n - 1 {
                 if bundles_left == 0 {
                     break;
                 }
-                let tid = 1 + (start - 1 + i) % (n - 1);
+                let cur = tid;
+                tid = if tid + 1 < n { tid + 1 } else { 1 };
+                let tid = cur;
                 if !self.threads[tid].active() || self.threads[tid].fetch_ready > self.cycle {
+                    continue;
+                }
+                // Fast engine: a sleeping context (wakeup cached at stall
+                // time) is skipped with one compare. The stepped oracle
+                // re-attempts the issue, which has no side effects when
+                // it stalls — the equivalence suite pins that down.
+                if self.fast_forward && self.threads[tid].blocked_until > self.cycle {
                     continue;
                 }
                 let (count, _, halted) = self.issue_thread(tid, width);
@@ -473,6 +692,10 @@ impl<'a> Engine<'a> {
                 }
                 if count > 0 {
                     bundles_left -= 1;
+                } else if self.fast_forward {
+                    // Stalled: cache the proven wakeup so the next cycles
+                    // skip this context without re-deriving the stall.
+                    self.threads[tid].blocked_until = self.spec_blocked_until(tid);
                 }
             }
         }
@@ -509,13 +732,26 @@ impl<'a> Engine<'a> {
 
         // Cycle accounting for the main thread (Figure 10 categories).
         if self.effective_roi() {
-            self.result.cycles_account(main_issued, main_stall, &self.threads[0], self.cycle);
+            let has_miss = main_issued > 0 && self.main_has_miss();
+            self.result.cycles_account(main_issued, main_stall, has_miss);
             self.result.cycles += 1;
         }
         StepOutcome { halt, issued: main_issued + spec_issued, main_stall }
     }
 
-    fn advance_fu_ring(&mut self) {
+    /// Whether the main thread has an L1-missing load outstanding — the
+    /// `exec` vs `cache_exec` test of Figure 10. The fast engine answers
+    /// from the miss-completion queue; the stepped oracle rescans.
+    pub(crate) fn main_has_miss(&mut self) -> bool {
+        let now = self.cycle;
+        if self.fast_forward {
+            self.threads[0].has_miss_fast(now)
+        } else {
+            self.threads[0].has_outstanding_miss(now)
+        }
+    }
+
+    pub(crate) fn advance_fu_ring(&mut self) {
         while self.fu_ring_base < self.cycle {
             if self.fu_ring.pop_front().is_none() {
                 // Ring already empty — after a clock jump, snap the base
@@ -545,7 +781,11 @@ impl<'a> Engine<'a> {
 
     /// Issue (in-order) or dispatch (OOO) up to `max` instructions from
     /// thread `tid`. Returns `(issued, stall, halted)`.
-    fn issue_thread(&mut self, tid: usize, max: usize) -> (usize, Option<StallReason>, bool) {
+    pub(crate) fn issue_thread(
+        &mut self,
+        tid: usize,
+        max: usize,
+    ) -> (usize, Option<StallReason>, bool) {
         let mut count = 0usize;
         let ooo = self.cfg.pipeline == PipelineKind::OutOfOrder;
         // `prog` is copied out of `self` so `op` borrows the program (not
@@ -572,34 +812,48 @@ impl<'a> Engine<'a> {
                 }
                 // RS entries are freed at issue, not completion: only
                 // instructions still waiting for operands occupy one.
-                let waiting =
-                    self.threads[tid].rob.iter().filter(|e| e.start_at > self.cycle).count();
+                // The fast engine answers from the monotone event queue;
+                // the stepped oracle keeps the O(ROB) occupancy rescan.
+                let now = self.cycle;
+                let waiting = if self.fast_forward {
+                    self.threads[tid].rs_waiting_count(now)
+                } else {
+                    self.threads[tid].rob.iter().filter(|e| e.start_at > now).count()
+                };
                 if waiting >= self.cfg.rs_entries {
-                    let h = self.threads[tid]
-                        .rob
-                        .iter()
-                        .find(|e| e.is_load && e.complete_at > self.cycle)
-                        .and_then(|e| e.hit);
+                    let h = if self.fast_forward {
+                        self.threads[tid].first_outstanding_load(now).map(|(_, h)| h)
+                    } else {
+                        self.threads[tid]
+                            .rob
+                            .iter()
+                            .find(|e| e.is_load && e.complete_at > now)
+                            .and_then(|e| e.hit)
+                    };
                     return (count, Some(StallReason::RsFull(h)), false);
                 }
             } else {
                 // In-order: all sources must be ready now. The stall
                 // payload reports the *first* unready source in use
-                // order, which the decoded table preserves.
+                // order, which the decoded table preserves. Use lists
+                // are short (≤3), so a direct walk beats the bitset
+                // filter here; the pending-bitset queries earn their
+                // keep in the event computations (`min_ready` /
+                // `max_ready`), where the *unready subset* is needed.
                 let mut stall = None;
                 if self.reference {
                     let mut uses = Vec::new();
                     op.uses_into(&mut uses);
                     for u in uses {
-                        if self.threads[tid].reg_ready[u.index()] > self.cycle {
-                            stall = Some(self.threads[tid].reg_src[u.index()]);
+                        if self.threads[tid].sb.ready_at(u) > self.cycle {
+                            stall = Some(self.threads[tid].sb.src_of(u));
                             break;
                         }
                     }
                 } else {
                     for &u in self.decode.get(at).uses() {
-                        if self.threads[tid].reg_ready[u.index()] > self.cycle {
-                            stall = Some(self.threads[tid].reg_src[u.index()]);
+                        if self.threads[tid].sb.ready_at(u) > self.cycle {
+                            stall = Some(self.threads[tid].sb.src_of(u));
                             break;
                         }
                     }
@@ -661,24 +915,33 @@ impl<'a> Engine<'a> {
     }
 
     /// Start time of an instruction: current cycle (in-order) or the max
-    /// of its operands' ready times (OOO, perfect renaming).
-    fn start_time(&self, tid: usize, at: InstRef, op: &Op) -> u64 {
+    /// of its operands' ready times (OOO, perfect renaming). The fast
+    /// engine computes the max through the scoreboard bitset (order-free,
+    /// so `trailing_zeros` iteration over the pending intersection is
+    /// enough); the stepped oracle walks the use list.
+    fn start_time(&mut self, tid: usize, at: InstRef, op: &Op) -> u64 {
         if self.cfg.pipeline == PipelineKind::InOrder {
             return self.cycle;
         }
-        let mut t = self.cycle;
         if self.reference {
+            let mut t = self.cycle;
             let mut uses = Vec::new();
             op.uses_into(&mut uses);
             for u in uses {
-                t = t.max(self.threads[tid].reg_ready[u.index()]);
+                t = t.max(self.threads[tid].sb.ready_at(u));
             }
+            t
+        } else if self.fast_forward {
+            let mask = self.decode.get(at).use_mask;
+            let now = self.cycle;
+            self.threads[tid].sb.max_ready(&mask, now)
         } else {
+            let mut t = self.cycle;
             for &u in self.decode.get(at).uses() {
-                t = t.max(self.threads[tid].reg_ready[u.index()]);
+                t = t.max(self.threads[tid].sb.ready_at(u));
             }
+            t
         }
-        t
     }
 
     /// Functional-unit class of the instruction at `at` (decoded table in
@@ -700,14 +963,15 @@ impl<'a> Engine<'a> {
         ready: u64,
         src: Option<HitWhere>,
     ) {
+        let now = self.cycle;
         let t = &mut self.threads[tid];
         t.rf.write(dst, value);
-        if !dst.is_zero() {
-            t.reg_ready[dst.index()] = ready;
-            t.reg_src[dst.index()] = src;
-        }
+        t.sb.set(dst, ready, src, now);
     }
 
+    /// Dispatch an entry into the ROB (OOO only). The fast engine also
+    /// feeds the incremental event queues here — the only place entries
+    /// are born, so each queue stays a monotone image of the ROB.
     fn push_rob(
         &mut self,
         tid: usize,
@@ -717,7 +981,23 @@ impl<'a> Engine<'a> {
         hit: Option<HitWhere>,
     ) {
         if self.cfg.pipeline == PipelineKind::OutOfOrder {
-            self.threads[tid].rob.push_back(RobEntry { start_at, complete_at, is_load, hit });
+            let now = self.cycle;
+            let fast = self.fast_forward;
+            let t = &mut self.threads[tid];
+            if fast {
+                if start_at > now {
+                    t.rs_waiting.push(Reverse(start_at));
+                }
+                if is_load {
+                    if let Some(h) = hit {
+                        t.loads_q.push_back((complete_at, h));
+                        if h.is_l1_miss() {
+                            t.missload_q.push_back(complete_at);
+                        }
+                    }
+                }
+            }
+            t.rob.push_back(RobEntry { start_at, complete_at, is_load, hit });
         }
     }
 
@@ -748,6 +1028,10 @@ impl<'a> Engine<'a> {
         t.call_stack.clear();
         t.rob.clear();
         t.outstanding.clear();
+        t.rs_waiting.clear();
+        t.loads_q.clear();
+        t.missload_q.clear();
+        t.blocked_until = 0;
         t.insts = 0;
     }
 
@@ -1010,7 +1294,9 @@ impl<'a> Engine<'a> {
                         let t = &mut self.threads[child];
                         *t = Thread::new();
                         t.rf.write(conv::SLOT, slot_val);
-                        t.reg_ready = [ready; NUM_REGS];
+                        // The spawn hand-off materialises the whole
+                        // register file at once.
+                        t.sb.fill(ready);
                         t.fetch_ready = ready;
                         t.speculative = true;
                         t.owned_slot = Some(slot_val);
@@ -1099,17 +1385,19 @@ impl<'a> Engine<'a> {
 }
 
 impl SimResult {
-    /// Classify one cycle of main-thread progress.
-    fn cycles_account(
+    /// Classify one cycle of main-thread progress. `has_miss` is the
+    /// outstanding-L1-miss test, computed by the caller (only consulted
+    /// when the thread issued) so the fast engine can answer it from its
+    /// event queues while the stepped oracle rescans.
+    pub(crate) fn cycles_account(
         &mut self,
         main_issued: usize,
         main_stall: Option<StallReason>,
-        main: &Thread,
-        now: u64,
+        has_miss: bool,
     ) {
         let b = &mut self.breakdown;
         if main_issued > 0 {
-            if main.has_outstanding_miss(now) {
+            if has_miss {
                 b.cache_exec += 1;
             } else {
                 b.exec += 1;
@@ -1128,7 +1416,7 @@ impl SimResult {
     /// Charge `n` zero-issue cycles to the Figure-10 stall bucket for a
     /// main thread blocked on a load that hit at `hit`. Used per-cycle by
     /// [`SimResult::cycles_account`] and in bulk by the fast-forward skip.
-    fn account_stalled(&mut self, hit: Option<HitWhere>, n: u64) {
+    pub(crate) fn account_stalled(&mut self, hit: Option<HitWhere>, n: u64) {
         let b = &mut self.breakdown;
         match hit {
             Some(HitWhere::Mem) | Some(HitWhere::MemPartial) => b.l3_miss += n,
@@ -1168,6 +1456,34 @@ pub fn simulate_stepped(prog: &Program, cfg: &MachineConfig) -> SimResult {
     let mut e = Engine::new(prog, cfg);
     e.fast_forward = false;
     e.run()
+}
+
+/// Run `prog` with the fast engine *and* per-query verification: every
+/// incremental next-event computation is checked against a brute-force
+/// O(ROB) rescan of the same event definition, panicking on the first
+/// divergence or on any event not strictly in the future.
+///
+/// This is the property-test harness behind the event-queue regression
+/// suite; it is not meant for regular use (the rescans make it as slow
+/// as the stepped engine).
+pub fn simulate_crosschecked(prog: &Program, cfg: &MachineConfig) -> SimResult {
+    let mut e = Engine::new(prog, cfg);
+    e.crosscheck = true;
+    e.run()
+}
+
+/// Run `prog` on the fast engine and additionally report how its cycles
+/// were simulated — busy-window batches, idle skips, and individually
+/// stepped cycles, with per-window length histograms
+/// ([`WindowStats`]). The instrumentation never feeds back into timing:
+/// the returned [`SimResult`] is identical to what [`simulate`]
+/// produces.
+pub fn simulate_windowed(prog: &Program, cfg: &MachineConfig) -> (SimResult, WindowStats) {
+    let mut e = Engine::new(prog, cfg);
+    e.winstats = Some(Box::new(WindowStats::default()));
+    e.run_to_end();
+    let w = e.winstats.take().expect("window stats installed above");
+    (e.result, *w)
 }
 
 /// Run `prog` with structured tracing enabled, returning the usual

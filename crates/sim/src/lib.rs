@@ -58,17 +58,20 @@ pub mod snapshot;
 pub mod stats;
 pub mod stride;
 mod telemetry;
+mod window;
 
 pub use cache::{AccessResult, Hierarchy, HitWhere};
 pub use config::{CacheConfig, MachineConfig, MemoryMode, PipelineKind};
 pub use decode::{DecodedInst, DecodedProgram};
 pub use engine::{
-    simulate, simulate_reference, simulate_snapshot, simulate_snapshot_stepped, simulate_stepped,
-    simulate_traced, simulate_traced_stepped, Engine,
+    simulate, simulate_crosschecked, simulate_reference, simulate_snapshot,
+    simulate_snapshot_stepped, simulate_stepped, simulate_traced, simulate_traced_stepped,
+    simulate_windowed, Engine,
 };
+pub use exec::{RegFile, Scoreboard};
 pub use mem::{LiveInBuffer, Memory, LIB_NO_SLOT};
 pub use profile::{profile, LoadProfile, Profile};
 pub use snapshot::{ArchSnapshot, TrapKind};
 pub use ssp_trace::{SimTrace, Timeliness, TimelinessCounts};
-pub use stats::{speedup, CycleBreakdown, LoadStats, SimResult};
+pub use stats::{speedup, CycleBreakdown, LoadStats, SimResult, WindowStats, WINDOW_HIST_BUCKETS};
 pub use stride::StridePrefetcher;

@@ -168,6 +168,94 @@ pub fn speedup(base: &SimResult, new: &SimResult) -> f64 {
     base.cycles as f64 / new.cycles as f64
 }
 
+/// Number of power-of-two buckets in a [`WindowStats`] length histogram:
+/// bucket `i` counts windows of length in `[2^i, 2^(i+1))`, with the last
+/// bucket open-ended.
+pub const WINDOW_HIST_BUCKETS: usize = 24;
+
+/// How the fast engine spent its simulated cycles — the per-window
+/// instrumentation behind `ssp-perf-report/3`'s `windows` object.
+///
+/// Three regimes are distinguished:
+///
+/// * **busy windows** — spans the busy-path batcher ran in its lean
+///   main-thread-only loop (no speculative thread could issue);
+/// * **idle skips** — spans the event-driven clock jumped over entirely
+///   (no thread could issue);
+/// * **stepped cycles** — everything else, simulated one cycle at a time
+///   by the full `step_cycle` loop.
+///
+/// The two histograms bucket window lengths by power of two (bucket `i`
+/// counts lengths in `[2^i, 2^(i+1))`), so a glance shows whether the
+/// residual bottleneck is many short windows (per-window entry/exit
+/// overhead) or a few long ones.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WindowStats {
+    /// Busy windows the batcher completed.
+    pub busy_windows: u64,
+    /// Cycles simulated inside busy windows.
+    pub busy_cycles: u64,
+    /// Idle spans the event-driven clock jumped over.
+    pub idle_skips: u64,
+    /// Cycles skipped by idle jumps.
+    pub idle_cycles: u64,
+    /// Cycles simulated one at a time by the full cycle loop.
+    pub stepped_cycles: u64,
+    /// Busy-window lengths, bucketed by power of two.
+    pub busy_len_hist: [u64; WINDOW_HIST_BUCKETS],
+    /// Idle-skip lengths, bucketed by power of two.
+    pub idle_len_hist: [u64; WINDOW_HIST_BUCKETS],
+}
+
+impl Default for WindowStats {
+    fn default() -> Self {
+        WindowStats {
+            busy_windows: 0,
+            busy_cycles: 0,
+            idle_skips: 0,
+            idle_cycles: 0,
+            stepped_cycles: 0,
+            busy_len_hist: [0; WINDOW_HIST_BUCKETS],
+            idle_len_hist: [0; WINDOW_HIST_BUCKETS],
+        }
+    }
+}
+
+/// The histogram bucket for a window of `len` cycles.
+fn hist_bucket(len: u64) -> usize {
+    (63 - u64::leading_zeros(len.max(1)) as usize).min(WINDOW_HIST_BUCKETS - 1)
+}
+
+impl WindowStats {
+    /// Record one completed busy window of `len` cycles.
+    pub fn record_busy(&mut self, len: u64) {
+        self.busy_windows += 1;
+        self.busy_cycles += len;
+        self.busy_len_hist[hist_bucket(len)] += 1;
+    }
+
+    /// Record one idle skip of `len` cycles.
+    pub fn record_idle(&mut self, len: u64) {
+        self.idle_skips += 1;
+        self.idle_cycles += len;
+        self.idle_len_hist[hist_bucket(len)] += 1;
+    }
+
+    /// Merge another run's window statistics into this one (used by
+    /// `perf_report` to aggregate a whole workload suite into one row).
+    pub fn merge(&mut self, other: &WindowStats) {
+        self.busy_windows += other.busy_windows;
+        self.busy_cycles += other.busy_cycles;
+        self.idle_skips += other.idle_skips;
+        self.idle_cycles += other.idle_cycles;
+        self.stepped_cycles += other.stepped_cycles;
+        for i in 0..WINDOW_HIST_BUCKETS {
+            self.busy_len_hist[i] += other.busy_len_hist[i];
+            self.idle_len_hist[i] += other.idle_len_hist[i];
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,6 +284,39 @@ mod tests {
         let base = SimResult { cycles: 200, ..Default::default() };
         let new = SimResult { cycles: 100, ..Default::default() };
         assert!((speedup(&base, &new) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_hist_buckets_are_pow2() {
+        let mut w = WindowStats::default();
+        w.record_busy(1); // bucket 0
+        w.record_busy(3); // bucket 1
+        w.record_busy(4); // bucket 2
+        w.record_idle(1 << 30); // clamps into the last bucket
+        assert_eq!(w.busy_windows, 3);
+        assert_eq!(w.busy_cycles, 8);
+        assert_eq!(w.busy_len_hist[0], 1);
+        assert_eq!(w.busy_len_hist[1], 1);
+        assert_eq!(w.busy_len_hist[2], 1);
+        assert_eq!(w.idle_len_hist[WINDOW_HIST_BUCKETS - 1], 1);
+        assert_eq!(w.idle_cycles, 1 << 30);
+    }
+
+    #[test]
+    fn window_stats_merge_is_fieldwise() {
+        let mut a = WindowStats::default();
+        a.record_busy(4);
+        a.record_idle(2);
+        let mut b = WindowStats::default();
+        b.record_busy(1);
+        b.stepped_cycles = 10;
+        a.merge(&b);
+        assert_eq!(a.busy_windows, 2);
+        assert_eq!(a.busy_cycles, 5);
+        assert_eq!(a.idle_skips, 1);
+        assert_eq!(a.stepped_cycles, 10);
+        assert_eq!(a.busy_len_hist[0], 1);
+        assert_eq!(a.busy_len_hist[2], 1);
     }
 
     #[test]

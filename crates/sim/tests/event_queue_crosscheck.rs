@@ -1,0 +1,58 @@
+//! Regression suite for the incremental next-event queues: run the fast
+//! engine with per-query verification enabled
+//! ([`ssp_sim::simulate_crosschecked`]), so every incremental
+//! next-event computation — the per-thread monotone queues maintained at
+//! dispatch and wakeup — is checked against a brute-force O(ROB) rescan
+//! of the same event definition. The engine panics on the first
+//! divergence, or on any event that is not strictly in the future; on
+//! top of that, the final statistics must still be byte-identical to the
+//! stepped engine's.
+//!
+//! The bench-crate twin (`event_queue_crosscheck` there) extends this to
+//! SSP-adapted binaries and the checked-in fuzz corpus.
+
+use ssp_sim::{simulate_crosschecked, simulate_stepped, MachineConfig};
+
+const SEED: u64 = 2002;
+
+fn capped(mut mc: MachineConfig, max: u64) -> MachineConfig {
+    mc.max_cycles = max;
+    mc
+}
+
+fn machines(max: u64) -> [(&'static str, MachineConfig); 2] {
+    [
+        ("in-order", capped(MachineConfig::in_order(), max)),
+        ("out-of-order", capped(MachineConfig::out_of_order(), max)),
+    ]
+}
+
+#[test]
+fn event_queues_match_brute_force_rescan_on_workload_baselines() {
+    for w in ssp_workloads::suite(SEED) {
+        for (model, cfg) in machines(120_000) {
+            let checked = simulate_crosschecked(&w.program, &cfg);
+            let stepped = simulate_stepped(&w.program, &cfg);
+            assert_eq!(checked, stepped, "{} on {model}: crosschecked run diverged", w.name);
+        }
+    }
+}
+
+#[test]
+fn event_queues_match_brute_force_rescan_under_odd_cycle_caps() {
+    // Odd caps land mid-stall, so the clamp path of the fast-forward jump
+    // gets crosschecked too (not just full-length runs).
+    for w in ssp_workloads::suite(SEED) {
+        for cap in [997, 20_011] {
+            for (model, cfg) in machines(cap) {
+                let checked = simulate_crosschecked(&w.program, &cfg);
+                let stepped = simulate_stepped(&w.program, &cfg);
+                assert_eq!(
+                    checked, stepped,
+                    "{} on {model} capped at {cap}: crosschecked run diverged",
+                    w.name
+                );
+            }
+        }
+    }
+}

@@ -7,6 +7,8 @@
 //! region-based slice growth ([`slicer`]). The dependence graphs the
 //! scheduler consumes are built by [`depgraph`].
 
+#![warn(missing_docs)]
+
 pub mod analysis;
 pub mod depgraph;
 pub mod slicer;

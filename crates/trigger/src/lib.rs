@@ -12,6 +12,8 @@
 //! * [`mincut::min_cut_triggers`] — the optimal frequency-weighted cut
 //!   via max-flow, for comparison and ablation.
 
+#![warn(missing_docs)]
+
 pub mod mincut;
 pub mod placement;
 

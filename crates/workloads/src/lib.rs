@@ -24,6 +24,8 @@
 //! }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod em3d;
 pub mod health;
 pub mod layout;

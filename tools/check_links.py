@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repo's markdown documentation.
+
+Scans the documents listed in DOCS for markdown links `[text](target)`,
+ignores absolute URLs (http/https/mailto) and pure in-page anchors, and
+checks that every relative target (with any #anchor stripped) exists on
+disk relative to the linking file. Exits nonzero listing every dead
+link. Run from the repository root: `python3 tools/check_links.py`.
+"""
+
+import os
+import re
+import sys
+
+DOCS = [
+    "README.md",
+    "ARCHITECTURE.md",
+    "EXPERIMENTS.md",
+    "docs/ENGINE.md",
+]
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def main() -> int:
+    dead = []
+    for doc in DOCS:
+        if not os.path.exists(doc):
+            dead.append((doc, "<the document itself is missing>"))
+            continue
+        base = os.path.dirname(doc)
+        with open(doc, encoding="utf-8") as f:
+            text = f.read()
+        for target in LINK.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            if not os.path.exists(os.path.join(base, path)):
+                dead.append((doc, target))
+    for doc, target in dead:
+        print(f"dead link in {doc}: {target}", file=sys.stderr)
+    if dead:
+        return 1
+    print(f"checked {len(DOCS)} documents, no dead relative links")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
