@@ -1,15 +1,19 @@
 //! `perf_report`: machine-readable performance snapshot of the harness.
 //!
-//! Emits one JSON object (`ssp-perf-report/3`) on stdout:
+//! Emits one JSON object (`ssp-perf-report/4`) on stdout:
 //!   - `engine`: wall time of simulating the workload suite with the
 //!     event-driven fast-forward clock vs. the stepped engine, per
 //!     machine model and per binary class (baseline / SSP-adapted),
 //!     with a bit-identity check over every `SimResult` and a `windows`
 //!     object breaking down how the fast engine spent its cycles
 //!     (busy-window batches, idle skips, stepped cycles, plus
-//!     power-of-two length histograms for both window kinds),
+//!     power-of-two length histograms for both window kinds). Every
+//!     row is checked against the accounting invariant
+//!     `busy + idle + stepped == simulated_cycles`,
 //!   - `suite`: wall time of regenerating the Figure 8–10 suite with a
-//!     cold vs. warm baseline cache, plus every row's cycle counts,
+//!     cold vs. warm baseline cache, plus every row's cycle counts and
+//!     its `noop`/`regression` diagnostic flags (each flagged row also
+//!     prints a stderr warning),
 //!   - `fig2`: the memory-wall rows (all baseline-class, so they share
 //!     cached denominators with the suite),
 //!   - `cache`: process-wide baseline-cache hit/miss counters.
@@ -35,7 +39,9 @@
 //!   - `--out PATH`: additionally write the (full, non-digest) report
 //!     to `PATH`.
 
-use ssp_bench::{cache, fig2_rows, parallel, run_suite_configured, BenchmarkRun, Fig2Row, SEED};
+use ssp_bench::{
+    cache, fig2_rows, parallel, run_suite_configured, suite_row_json, BenchmarkRun, Fig2Row, SEED,
+};
 use ssp_core::{simulate, simulate_stepped, AdaptOptions, MachineConfig, PostPassTool, Program};
 use ssp_sim::{simulate_windowed, WindowStats};
 use std::time::Instant;
@@ -86,6 +92,16 @@ fn engine_row(
         windows.merge(&w);
         windowed.push(r);
     }
+    let simulated: u64 = windowed.iter().map(|r| r.total_cycles).sum();
+    assert_eq!(
+        windows.simulated(),
+        simulated,
+        "{model} {class}: window accounting must partition the simulated cycles \
+         (busy {} + idle {} + stepped {} != {simulated})",
+        windows.busy_cycles,
+        windows.idle_cycles,
+        windows.stepped_cycles,
+    );
     EngineRow {
         model,
         class,
@@ -146,7 +162,7 @@ fn render(digest: bool, report: &Report) -> String {
         out.push('\n');
     };
     line("{".into());
-    line("  \"schema\": \"ssp-perf-report/3\",".into());
+    line("  \"schema\": \"ssp-perf-report/4\",".into());
     line(format!("  \"seed\": {SEED},"));
     if !digest {
         line(format!("  \"workers\": {workers},"));
@@ -195,13 +211,7 @@ fn render(digest: bool, report: &Report) -> String {
     line("    \"rows\": [".into());
     for (i, r) in suite.iter().enumerate() {
         let comma = if i + 1 < suite.len() { "," } else { "" };
-        line(format!(
-            concat!(
-                "      {{\"name\": \"{}\", \"base_io\": {}, \"ssp_io\": {}, ",
-                "\"base_ooo\": {}, \"ssp_ooo\": {}}}{}"
-            ),
-            r.name, r.base_io.cycles, r.ssp_io.cycles, r.base_ooo.cycles, r.ssp_ooo.cycles, comma,
-        ));
+        line(format!("      {}{}", suite_row_json(&r.suite_row()), comma));
     }
     line("    ]".into());
     line("  },".into());
@@ -223,7 +233,10 @@ fn render(digest: bool, report: &Report) -> String {
     }
     line("  ],".into());
     let cs = cache::stats();
-    line(format!("  \"cache\": {{\"hits\": {}, \"misses\": {}}}", cs.hits, cs.misses));
+    line(format!(
+        "  \"cache\": {{\"hits\": {}, \"disk_hits\": {}, \"misses\": {}}}",
+        cs.hits, cs.disk_hits, cs.misses
+    ));
     line("}".into());
     out
 }
@@ -288,6 +301,13 @@ fn main() {
     let t0 = Instant::now();
     let fig2 = fig2_rows(&ws);
     let fig2_s = t0.elapsed().as_secs_f64();
+
+    // A dead or regressing row must never scroll past unremarked.
+    for run in &suite {
+        for w in run.suite_row().warnings() {
+            eprintln!("perf_report: {w}");
+        }
+    }
 
     let report = Report { workers, rows, suite, suite_cold_s, suite_warm_s, fig2, fig2_s };
     let json = render(digest, &report);

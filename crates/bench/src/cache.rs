@@ -1,4 +1,5 @@
-//! Process-wide memoization of baseline simulations.
+//! Process-wide memoization of baseline simulations, sharded by machine
+//! config and optionally spilled to an on-disk store.
 //!
 //! Every experiment binary re-simulates the same original workloads:
 //! `fig8`/`fig9`/`fig10` all need `base_io`/`base_ooo`, `fig2` needs
@@ -10,25 +11,40 @@
 //! Programs are identified by `(workload name, builder seed)` — the
 //! builders are deterministic, so that pair pins the binary bit-for-bit
 //! (`next_tag` and the image length ride along in the key as a cheap
-//! integrity check). Machine configs are identified by a canonical
-//! fingerprint string: the `Debug` rendering with the memory mode
-//! normalized separately, because `MemoryMode::PerfectDelinquent` holds
-//! a `HashSet` whose iteration (and hence `Debug`) order is not stable
-//! across instances.
+//! integrity check). Machine configs are identified by
+//! [`MachineConfig::fingerprint`], the versioned field-explicit
+//! canonical encoding (never `Debug` formatting, whose output is not
+//! stable across field reorders or rustc versions — which the
+//! disk-persistent layer could not tolerate).
 //!
-//! Concurrency: the cache maps each key to its own [`OnceLock`] cell, so
-//! when several workers race on one key the first computes and the rest
+//! The in-memory map is split into [`NUM_SHARDS`] mutexed shards
+//! selected by the fingerprint's hash, so requests for different
+//! machine models never contend on one lock; `ssp-serve` batches mix
+//! models freely. When a [`Store`] is attached ([`attach_store`]), a
+//! first-in-process request additionally consults the disk before
+//! simulating, and every simulated result is written back — that is
+//! what makes a daemon restart warm.
+//!
+//! Concurrency: each key maps to its own [`OnceLock`] cell, so when
+//! several workers race on one key the first computes and the rest
 //! block on the cell rather than duplicating the simulation. That also
-//! makes [`stats`] deterministic for a fixed request stream: misses =
-//! distinct keys, hits = requests − distinct keys, whatever the thread
-//! schedule (asserted by the determinism tests).
+//! makes [`stats`] deterministic for a fixed request stream and store
+//! state: misses = distinct keys never on disk, disk hits = distinct
+//! keys on disk, memory hits = requests − distinct keys, whatever the
+//! thread schedule (asserted by the determinism tests).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use ssp_core::{simulate, MachineConfig, MemoryMode, SimResult};
+use crate::persist::{decode_sim_result, encode_sim_result, fnv64, Store};
+use ssp_core::{simulate, MachineConfig, SimResult};
 use ssp_workloads::Workload;
+
+/// In-memory shard count. Shards are selected by the config
+/// fingerprint's hash, so every result for one machine model lives in
+/// one shard and different models never contend.
+pub const NUM_SHARDS: usize = 16;
 
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 struct Key {
@@ -39,56 +55,93 @@ struct Key {
     config: String,
 }
 
+impl Key {
+    /// The canonical key string persisted (inside the entry, as the
+    /// collision guard) by the disk layer.
+    fn disk_key(&self) -> String {
+        format!(
+            "baseline name={} seed={} next_tag={} image_len={} {}",
+            self.name, self.seed, self.next_tag, self.image_len, self.config
+        )
+    }
+}
+
 type Cell = Arc<OnceLock<SimResult>>;
 
-static CACHE: OnceLock<Mutex<HashMap<Key, Cell>>> = OnceLock::new();
+static SHARDS: OnceLock<Vec<Mutex<HashMap<Key, Cell>>>> = OnceLock::new();
+static STORE: Mutex<Option<Arc<Store>>> = Mutex::new(None);
 static HITS: AtomicU64 = AtomicU64::new(0);
+static DISK_HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 
-/// Canonical identity of a machine configuration, stable across
-/// instances that compare equal.
-fn config_fingerprint(cfg: &MachineConfig) -> String {
-    let mut canon = cfg.clone();
-    let mode = std::mem::replace(&mut canon.memory_mode, MemoryMode::Normal);
-    let mode = match mode {
-        MemoryMode::Normal => "normal".to_string(),
-        MemoryMode::PerfectAll => "perfect-all".to_string(),
-        MemoryMode::PerfectDelinquent(tags) => {
-            let mut tags: Vec<u32> = tags.into_iter().map(|t| t.0).collect();
-            tags.sort_unstable();
-            format!("perfect-delinquent:{tags:?}")
-        }
-    };
-    format!("{canon:?}|{mode}")
+fn shards() -> &'static Vec<Mutex<HashMap<Key, Cell>>> {
+    SHARDS.get_or_init(|| (0..NUM_SHARDS).map(|_| Mutex::default()).collect())
+}
+
+/// Attach an on-disk store: from now on, first-in-process [`baseline`]
+/// requests consult (and populate) the store before simulating. The
+/// daemon attaches its `--store` directory here so workload baselines
+/// survive restarts along with the serve-level entries.
+pub fn attach_store(store: Store) {
+    *STORE.lock().expect("store slot poisoned") = Some(Arc::new(store));
+}
+
+/// Detach the on-disk store (in-memory memoization continues). Used by
+/// tests that simulate cold and warm processes in one binary.
+pub fn detach_store() {
+    *STORE.lock().expect("store slot poisoned") = None;
 }
 
 /// Simulate workload `w`'s *original* binary under `cfg`, memoized for
-/// the life of the process. The first request for a `(workload, config)`
-/// pair runs [`ssp_core::simulate`]; every later request (from any
+/// the life of the process (and, with a store attached, across
+/// processes). The first request for a `(workload, config)` pair runs
+/// [`ssp_core::simulate`] — unless the attached store already holds the
+/// result, which is decoded instead; every later request (from any
 /// thread) returns a clone of the stored result.
 ///
 /// Only baselines belong here: adapted binaries are not pure functions
 /// of `(name, seed)` — they depend on the adaptation options — and each
 /// suite run adapts once anyway.
 pub fn baseline(w: &Workload, cfg: &MachineConfig) -> SimResult {
+    let fingerprint = cfg.fingerprint();
+    let shard_idx = (fnv64(&fingerprint) % NUM_SHARDS as u64) as usize;
     let key = Key {
         name: w.name,
         seed: w.seed,
         next_tag: w.program.next_tag,
         image_len: w.program.image.len(),
-        config: config_fingerprint(cfg),
+        config: fingerprint,
     };
     let cell: Cell = {
-        let mut map = CACHE.get_or_init(Mutex::default).lock().expect("baseline cache poisoned");
-        Arc::clone(map.entry(key).or_default())
+        let mut map = shards()[shard_idx].lock().expect("baseline cache shard poisoned");
+        Arc::clone(map.entry(key.clone()).or_default())
     };
+    let store = STORE.lock().expect("store slot poisoned").clone();
     let mut computed = false;
+    let mut from_disk = false;
     let result = cell.get_or_init(|| {
+        if let Some(store) = &store {
+            let shard = Store::shard_of(&key.config);
+            if let Some(decoded) =
+                store.load(&shard, &key.disk_key()).and_then(|p| decode_sim_result(&p).ok())
+            {
+                from_disk = true;
+                return decoded;
+            }
+        }
         computed = true;
         simulate(&w.program, cfg)
     });
     if computed {
         MISSES.fetch_add(1, Ordering::Relaxed);
+        if let Some(store) = &store {
+            let shard = Store::shard_of(&key.config);
+            if let Err(e) = store.save(&shard, &key.disk_key(), &encode_sim_result(result)) {
+                eprintln!("ssp-bench: baseline store write failed ({e}); continuing uncached");
+            }
+        }
+    } else if from_disk {
+        DISK_HITS.fetch_add(1, Ordering::Relaxed);
     } else {
         HITS.fetch_add(1, Ordering::Relaxed);
     }
@@ -98,21 +151,28 @@ pub fn baseline(w: &Workload, cfg: &MachineConfig) -> SimResult {
 /// Cache effectiveness counters for [`baseline`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct CacheStats {
-    /// Requests answered from the cache.
+    /// Requests answered from the in-memory cache.
     pub hits: u64,
-    /// Requests that ran a simulation (== distinct keys ever requested).
+    /// First-in-process requests answered by decoding a store entry.
+    pub disk_hits: u64,
+    /// Requests that ran a simulation (== distinct keys never on disk).
     pub misses: u64,
 }
 
 /// Snapshot the process-wide [`baseline`] hit/miss counters.
 pub fn stats() -> CacheStats {
-    CacheStats { hits: HITS.load(Ordering::Relaxed), misses: MISSES.load(Ordering::Relaxed) }
+    CacheStats {
+        hits: HITS.load(Ordering::Relaxed),
+        disk_hits: DISK_HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::SEED;
+    use ssp_sim::MemoryMode;
 
     #[test]
     fn memoizes_and_counts_deterministically() {
@@ -149,16 +209,17 @@ mod tests {
     #[test]
     fn perfect_delinquent_fingerprint_is_order_independent() {
         use ssp_ir::InstTag;
-        // Two HashSets built in different insertion orders must produce
-        // the same fingerprint (HashSet Debug order is not stable).
+        // Two HashSets built in different insertion orders must land on
+        // the same cache key (HashSet iteration order is not stable);
+        // the canonical fingerprint sorts the tags.
         let fwd: std::collections::HashSet<_> = (0..20).map(InstTag).collect();
         let rev: std::collections::HashSet<_> = (0..20).rev().map(InstTag).collect();
         let a = MachineConfig::in_order().with_memory_mode(MemoryMode::PerfectDelinquent(fwd));
         let b = MachineConfig::in_order().with_memory_mode(MemoryMode::PerfectDelinquent(rev));
-        assert_eq!(config_fingerprint(&a), config_fingerprint(&b));
+        assert_eq!(a.fingerprint(), b.fingerprint());
         assert_ne!(
-            config_fingerprint(&a),
-            config_fingerprint(&MachineConfig::in_order()),
+            a.fingerprint(),
+            MachineConfig::in_order().fingerprint(),
             "memory mode is part of the identity"
         );
     }

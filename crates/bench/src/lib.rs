@@ -25,6 +25,7 @@
 pub mod cache;
 pub mod hand;
 pub mod parallel;
+pub mod persist;
 pub mod trace;
 
 use ssp_core::{
@@ -67,6 +68,114 @@ impl BenchmarkRun {
     pub fn speedup_ooo_ssp(&self) -> f64 {
         self.base_io.cycles as f64 / self.ssp_ooo.cycles as f64
     }
+
+    /// Whether the adaptation emitted nothing — the "binary is
+    /// byte-identical to the baseline" case. Not an error by itself,
+    /// but surfaced per row so a dead row can never pose as a win.
+    pub fn is_noop(&self) -> bool {
+        self.report.is_noop()
+    }
+
+    /// Whether the adapted binary is *slower* than the baseline on the
+    /// in-order model.
+    pub fn regression_io(&self) -> bool {
+        self.ssp_io.cycles > self.base_io.cycles
+    }
+
+    /// Whether the adapted binary is *slower* than the baseline on the
+    /// out-of-order model.
+    pub fn regression_ooo(&self) -> bool {
+        self.ssp_ooo.cycles > self.base_ooo.cycles
+    }
+
+    /// The row's diagnostic view (see [`SuiteRow`]).
+    pub fn suite_row(&self) -> SuiteRow {
+        SuiteRow {
+            name: self.name.to_owned(),
+            base_io: self.base_io.cycles,
+            ssp_io: self.ssp_io.cycles,
+            base_ooo: self.base_ooo.cycles,
+            ssp_ooo: self.ssp_ooo.cycles,
+            noop: self.is_noop(),
+            regression_io: self.regression_io(),
+            regression_ooo: self.regression_ooo(),
+        }
+    }
+}
+
+/// One suite row's cycle counts plus its diagnostic flags — the shape
+/// both `perf_report` and the `ssp-serve` daemon render, via
+/// [`suite_row_json`], so their outputs are byte-identical by
+/// construction (the daemon reconstructs rows from persisted
+/// [`SimResult`]s, never from a live [`BenchmarkRun`]).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SuiteRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline in-order ROI cycles.
+    pub base_io: u64,
+    /// In-order + SSP ROI cycles.
+    pub ssp_io: u64,
+    /// Baseline out-of-order ROI cycles.
+    pub base_ooo: u64,
+    /// Out-of-order + SSP ROI cycles.
+    pub ssp_ooo: u64,
+    /// The adaptation emitted no slices (binary unchanged).
+    pub noop: bool,
+    /// Adapted slower than baseline, in-order.
+    pub regression_io: bool,
+    /// Adapted slower than baseline, out-of-order.
+    pub regression_ooo: bool,
+}
+
+impl SuiteRow {
+    /// Stderr warnings this row deserves, one per line: a silent no-op
+    /// or a regression must never scroll past unremarked.
+    pub fn warnings(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.noop {
+            out.push(format!(
+                "warning: {}: adaptation emitted no slices (binary unchanged)",
+                self.name
+            ));
+        }
+        if self.regression_io {
+            out.push(format!(
+                "warning: {}: adapted binary is slower than baseline on in-order \
+                 ({} -> {} cycles)",
+                self.name, self.base_io, self.ssp_io
+            ));
+        }
+        if self.regression_ooo {
+            out.push(format!(
+                "warning: {}: adapted binary is slower than baseline on out-of-order \
+                 ({} -> {} cycles)",
+                self.name, self.base_ooo, self.ssp_ooo
+            ));
+        }
+        out
+    }
+}
+
+/// Render one suite row as a single-line JSON object — the canonical
+/// row shape of `ssp-perf-report/4`'s `suite.rows` and of the daemon's
+/// workload responses. `regression` is true when either machine model
+/// regressed; the per-model split stays in [`SuiteRow`] (and on
+/// stderr via [`SuiteRow::warnings`]).
+pub fn suite_row_json(r: &SuiteRow) -> String {
+    format!(
+        concat!(
+            "{{\"name\": \"{}\", \"base_io\": {}, \"ssp_io\": {}, ",
+            "\"base_ooo\": {}, \"ssp_ooo\": {}, \"noop\": {}, \"regression\": {}}}"
+        ),
+        r.name,
+        r.base_io,
+        r.ssp_io,
+        r.base_ooo,
+        r.ssp_ooo,
+        r.noop,
+        r.regression_io || r.regression_ooo,
+    )
 }
 
 /// Run the full tool + simulation pipeline for one benchmark: profile,

@@ -1,0 +1,392 @@
+//! Canonical serialization and the on-disk store shared by the
+//! `ssp-bench` baseline cache and the `ssp-serve` daemon.
+//!
+//! Two layers live here:
+//!
+//! * **Payload encoding** — [`encode_sim_result`]/[`decode_sim_result`]
+//!   turn a [`SimResult`] into a versioned, line-oriented text block
+//!   (`ssp-sim-result/1`) and back. The encoding is field-explicit (a
+//!   new `SimResult` field breaks the encoder at compile time) and
+//!   canonical (the per-load map is emitted sorted by tag), so equal
+//!   results always serialize identically.
+//! * **[`Store`]** — a sharded directory of versioned entries with
+//!   atomic writes. Entries are keyed by an arbitrary key string; the
+//!   file name is the key's 64-bit FNV-1a hash, and the full key is
+//!   stored inside the entry as a collision guard (a hash collision
+//!   reads back as a miss, never as wrong data). Writers create a
+//!   temporary file and `rename` it into place, so concurrent readers
+//!   only ever observe complete entries.
+//!
+//! The store layout under its root directory:
+//!
+//! ```text
+//! <root>/FORMAT              "ssp-serve-store/1\n" (version guard)
+//! <root>/<shard>/<fnv64(key):016x>.entry
+//! ```
+//!
+//! where `<shard>` is any caller-chosen shard name — `ssp-serve` and
+//! the baseline cache both use [`Store::shard_of`] over the machine
+//! config fingerprint, so one machine model's entries live together.
+
+use ssp_core::SimResult;
+use ssp_ir::InstTag;
+use ssp_sim::{CycleBreakdown, LoadStats};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Version header of one serialized [`SimResult`] block.
+pub const SIM_RESULT_FORMAT: &str = "ssp-sim-result/1";
+
+/// Version header of the on-disk store (the `FORMAT` file and the first
+/// line of every entry).
+pub const STORE_FORMAT: &str = "ssp-serve-store/1";
+
+/// 64-bit FNV-1a hash of a string — the store's key-to-filename map and
+/// the shard selector. Stable by construction (pure arithmetic on
+/// bytes), unlike `std`'s `DefaultHasher`, which is randomly seeded.
+pub fn fnv64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Why a persisted payload could not be decoded.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PersistError {
+    /// The payload does not start with the expected version header.
+    Header {
+        /// The header the decoder requires.
+        expected: &'static str,
+        /// The first line actually found.
+        found: String,
+    },
+    /// A line is missing, out of order, or fails to parse.
+    Malformed(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Header { expected, found } => {
+                write!(f, "bad header: expected {expected:?}, found {found:?}")
+            }
+            PersistError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Serialize a [`SimResult`] as a versioned, canonical text block.
+///
+/// Line-oriented `key=value` pairs in fixed order; the load map is
+/// sorted by tag. [`decode_sim_result`] round-trips every field.
+pub fn encode_sim_result(r: &SimResult) -> String {
+    // Full destructuring: adding a field to `SimResult` breaks this at
+    // compile time, forcing the encoding (and, if the change is
+    // semantic, the version header) to be updated.
+    let SimResult {
+        cycles,
+        total_cycles,
+        main_insts,
+        spec_insts,
+        breakdown,
+        loads,
+        spawns_fired,
+        spawns_suppressed,
+        threads_spawned,
+        spawns_dropped,
+        runaway_kills,
+        branches,
+        mispredicts,
+        halted,
+    } = r;
+    let CycleBreakdown { l3_miss, l2_miss, l1_miss, cache_exec, exec, other } = breakdown;
+    let mut out = String::new();
+    out.push_str(SIM_RESULT_FORMAT);
+    out.push('\n');
+    out.push_str(&format!("cycles={cycles}\n"));
+    out.push_str(&format!("total_cycles={total_cycles}\n"));
+    out.push_str(&format!("main_insts={main_insts}\n"));
+    out.push_str(&format!("spec_insts={spec_insts}\n"));
+    out.push_str(&format!("breakdown={l3_miss}:{l2_miss}:{l1_miss}:{cache_exec}:{exec}:{other}\n"));
+    out.push_str(&format!("spawns_fired={spawns_fired}\n"));
+    out.push_str(&format!("spawns_suppressed={spawns_suppressed}\n"));
+    out.push_str(&format!("threads_spawned={threads_spawned}\n"));
+    out.push_str(&format!("spawns_dropped={spawns_dropped}\n"));
+    out.push_str(&format!("runaway_kills={runaway_kills}\n"));
+    out.push_str(&format!("branches={branches}\n"));
+    out.push_str(&format!("mispredicts={mispredicts}\n"));
+    out.push_str(&format!("halted={halted}\n"));
+    let mut tags: Vec<&InstTag> = loads.keys().collect();
+    tags.sort_unstable();
+    out.push_str(&format!("loads={}\n", tags.len()));
+    for tag in tags {
+        let LoadStats { accesses, l1, l2, l2_partial, l3, l3_partial, mem, mem_partial } =
+            &loads[tag];
+        out.push_str(&format!(
+            "{}:{accesses}:{l1}:{l2}:{l2_partial}:{l3}:{l3_partial}:{mem}:{mem_partial}\n",
+            tag.0
+        ));
+    }
+    out
+}
+
+/// Split `line` as `key=value`, requiring `key` to match.
+fn field<'a>(line: Option<&'a str>, key: &str) -> Result<&'a str, PersistError> {
+    let line = line.ok_or_else(|| PersistError::Malformed(format!("missing field {key}")))?;
+    match line.split_once('=') {
+        Some((k, v)) if k == key => Ok(v),
+        _ => Err(PersistError::Malformed(format!("expected field {key}, found {line:?}"))),
+    }
+}
+
+fn num<T: std::str::FromStr>(key: &str, v: &str) -> Result<T, PersistError> {
+    v.parse().map_err(|_| PersistError::Malformed(format!("field {key}: bad value {v:?}")))
+}
+
+/// Parse a text block produced by [`encode_sim_result`].
+pub fn decode_sim_result(text: &str) -> Result<SimResult, PersistError> {
+    let mut lines = text.lines();
+    let header = lines.next().unwrap_or("");
+    if header != SIM_RESULT_FORMAT {
+        return Err(PersistError::Header { expected: SIM_RESULT_FORMAT, found: header.to_owned() });
+    }
+    let mut r = SimResult {
+        cycles: num("cycles", field(lines.next(), "cycles")?)?,
+        total_cycles: num("total_cycles", field(lines.next(), "total_cycles")?)?,
+        main_insts: num("main_insts", field(lines.next(), "main_insts")?)?,
+        spec_insts: num("spec_insts", field(lines.next(), "spec_insts")?)?,
+        ..SimResult::default()
+    };
+    let bd = field(lines.next(), "breakdown")?;
+    let parts: Vec<&str> = bd.split(':').collect();
+    if parts.len() != 6 {
+        return Err(PersistError::Malformed(format!("breakdown needs 6 fields, found {bd:?}")));
+    }
+    r.breakdown = CycleBreakdown {
+        l3_miss: num("breakdown", parts[0])?,
+        l2_miss: num("breakdown", parts[1])?,
+        l1_miss: num("breakdown", parts[2])?,
+        cache_exec: num("breakdown", parts[3])?,
+        exec: num("breakdown", parts[4])?,
+        other: num("breakdown", parts[5])?,
+    };
+    r.spawns_fired = num("spawns_fired", field(lines.next(), "spawns_fired")?)?;
+    r.spawns_suppressed = num("spawns_suppressed", field(lines.next(), "spawns_suppressed")?)?;
+    r.threads_spawned = num("threads_spawned", field(lines.next(), "threads_spawned")?)?;
+    r.spawns_dropped = num("spawns_dropped", field(lines.next(), "spawns_dropped")?)?;
+    r.runaway_kills = num("runaway_kills", field(lines.next(), "runaway_kills")?)?;
+    r.branches = num("branches", field(lines.next(), "branches")?)?;
+    r.mispredicts = num("mispredicts", field(lines.next(), "mispredicts")?)?;
+    r.halted = match field(lines.next(), "halted")? {
+        "true" => true,
+        "false" => false,
+        v => return Err(PersistError::Malformed(format!("field halted: bad value {v:?}"))),
+    };
+    let n: usize = num("loads", field(lines.next(), "loads")?)?;
+    for _ in 0..n {
+        let line = lines
+            .next()
+            .ok_or_else(|| PersistError::Malformed("truncated load list".to_owned()))?;
+        let parts: Vec<&str> = line.split(':').collect();
+        if parts.len() != 9 {
+            return Err(PersistError::Malformed(format!("load row needs 9 fields: {line:?}")));
+        }
+        let tag = InstTag(num("load tag", parts[0])?);
+        let stats = LoadStats {
+            accesses: num("load", parts[1])?,
+            l1: num("load", parts[2])?,
+            l2: num("load", parts[3])?,
+            l2_partial: num("load", parts[4])?,
+            l3: num("load", parts[5])?,
+            l3_partial: num("load", parts[6])?,
+            mem: num("load", parts[7])?,
+            mem_partial: num("load", parts[8])?,
+        };
+        r.loads.insert(tag, stats);
+    }
+    Ok(r)
+}
+
+/// A sharded on-disk store of versioned entries with atomic writes.
+///
+/// See the module docs for the layout. A `Store` is cheap to open and
+/// safe to share across threads (all methods take `&self`; the
+/// filesystem provides the synchronization via atomic renames).
+#[derive(Debug)]
+pub struct Store {
+    root: PathBuf,
+}
+
+impl Store {
+    /// Open (creating if necessary) a store rooted at `root`.
+    ///
+    /// Writes the `FORMAT` version file on first open; fails with
+    /// `InvalidData` if the directory already holds a store of a
+    /// different version — silently reading entries across format
+    /// versions is exactly what the version guard exists to prevent.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Store> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        let format_file = root.join("FORMAT");
+        match fs::read_to_string(&format_file) {
+            Ok(v) if v.trim() == STORE_FORMAT => {}
+            Ok(v) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "store at {} has format {:?}, this build reads {STORE_FORMAT:?}",
+                        root.display(),
+                        v.trim()
+                    ),
+                ));
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                fs::write(&format_file, format!("{STORE_FORMAT}\n"))?;
+            }
+            Err(e) => return Err(e),
+        }
+        Ok(Store { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The shard name for a machine-config fingerprint (or any other
+    /// grouping string): two hex digits of its FNV-1a hash, giving up
+    /// to 256 shard directories.
+    pub fn shard_of(fingerprint: &str) -> String {
+        format!("{:02x}", fnv64(fingerprint) & 0xff)
+    }
+
+    fn entry_path(&self, shard: &str, key: &str) -> PathBuf {
+        self.root.join(shard).join(format!("{:016x}.entry", fnv64(key)))
+    }
+
+    /// Load the payload stored under `(shard, key)`, or `None` if the
+    /// entry is absent, has a different version, or was written for a
+    /// different key (a filename-hash collision) — every failure mode
+    /// reads as a miss, never as wrong data.
+    pub fn load(&self, shard: &str, key: &str) -> Option<String> {
+        let text = fs::read_to_string(self.entry_path(shard, key)).ok()?;
+        let rest = text.strip_prefix(STORE_FORMAT)?.strip_prefix('\n')?;
+        let (key_line, payload) = rest.split_once('\n')?;
+        if key_line.strip_prefix("key=")? != key {
+            return None;
+        }
+        Some(payload.to_owned())
+    }
+
+    /// Atomically write `payload` under `(shard, key)`: the entry is
+    /// assembled in a temporary file and renamed into place, so a
+    /// concurrent [`Store::load`] sees either the old entry or the new
+    /// one, never a torn write.
+    pub fn save(&self, shard: &str, key: &str, payload: &str) -> io::Result<()> {
+        let dir = self.root.join(shard);
+        fs::create_dir_all(&dir)?;
+        let final_path = self.entry_path(shard, key);
+        let tmp = dir.join(format!(".tmp-{:016x}-{}", fnv64(key), std::process::id()));
+        fs::write(&tmp, format!("{STORE_FORMAT}\nkey={key}\n{payload}"))?;
+        fs::rename(&tmp, final_path)
+    }
+
+    /// Entry count per shard, sorted by shard name — the `shards`
+    /// section of the daemon's `ssp-serve-report/1`.
+    pub fn shard_entry_counts(&self) -> Vec<(String, usize)> {
+        let mut out = Vec::new();
+        let Ok(dirs) = fs::read_dir(&self.root) else { return out };
+        for dir in dirs.flatten() {
+            if !dir.file_type().is_ok_and(|t| t.is_dir()) {
+                continue;
+            }
+            let name = dir.file_name().to_string_lossy().into_owned();
+            let entries = fs::read_dir(dir.path())
+                .map(|d| {
+                    d.flatten()
+                        .filter(|e| e.file_name().to_string_lossy().ends_with(".entry"))
+                        .count()
+                })
+                .unwrap_or(0);
+            out.push((name, entries));
+        }
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssp_sim::MachineConfig;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("ssp-persist-test-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn sim_result_round_trips() {
+        let w = ssp_workloads::mcf::build(7);
+        let mut cfg = MachineConfig::in_order();
+        cfg.max_cycles = 40_000;
+        let r = ssp_core::simulate(&w.program, &cfg);
+        assert!(!r.loads.is_empty(), "the round trip must cover the load map");
+        let text = encode_sim_result(&r);
+        assert_eq!(decode_sim_result(&text).unwrap(), r);
+        // Canonical: encoding the decoded result reproduces the text.
+        assert_eq!(encode_sim_result(&decode_sim_result(&text).unwrap()), text);
+    }
+
+    #[test]
+    fn decode_rejects_bad_payloads() {
+        assert!(matches!(
+            decode_sim_result("nonsense"),
+            Err(PersistError::Header { expected: SIM_RESULT_FORMAT, .. })
+        ));
+        let good = encode_sim_result(&ssp_core::SimResult::default());
+        let truncated: String = good.lines().take(3).map(|l| format!("{l}\n")).collect();
+        assert!(decode_sim_result(&truncated).is_err());
+    }
+
+    #[test]
+    fn store_round_trips_and_guards_keys() {
+        let root = tmpdir("roundtrip");
+        let store = Store::open(&root).unwrap();
+        let shard = Store::shard_of("some-fingerprint");
+        assert!(store.load(&shard, "k1").is_none(), "empty store misses");
+        store.save(&shard, "k1", "payload-1\n").unwrap();
+        store.save(&shard, "k2", "payload-2\n").unwrap();
+        assert_eq!(store.load(&shard, "k1").as_deref(), Some("payload-1\n"));
+        assert_eq!(store.load(&shard, "k2").as_deref(), Some("payload-2\n"));
+        // Reopening sees the same entries (this is the warm restart).
+        let again = Store::open(&root).unwrap();
+        assert_eq!(again.load(&shard, "k1").as_deref(), Some("payload-1\n"));
+        assert_eq!(again.shard_entry_counts(), vec![(shard.clone(), 2)]);
+        // A forged entry under k3's filename but recording a different
+        // key must read as a miss, not as k3's data.
+        fs::write(again.entry_path(&shard, "k3"), format!("{STORE_FORMAT}\nkey=not-k3\nforged\n"))
+            .unwrap();
+        assert!(again.load(&shard, "k3").is_none(), "key guard rejects collisions");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn store_rejects_foreign_formats() {
+        let root = tmpdir("format");
+        fs::create_dir_all(&root).unwrap();
+        fs::write(root.join("FORMAT"), "ssp-serve-store/999\n").unwrap();
+        let err = Store::open(&root).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -11,7 +11,7 @@
 //! does not depend on the cap.
 
 use ssp_core::{simulate, simulate_stepped, AdaptOptions, MachineConfig, PostPassTool, SimResult};
-use ssp_sim::{simulate_snapshot, simulate_snapshot_stepped};
+use ssp_sim::{simulate_snapshot, simulate_snapshot_stepped, simulate_windowed};
 
 const CORPUS: &str = include_str!("../../../tests/corpus/adaptation_oracle.corpus");
 
@@ -47,6 +47,34 @@ fn workloads_baseline_and_adapted_match_stepped_engine() {
                 let what = format!("{} {class} on {model}", w.name);
                 assert_equivalent(&what, &simulate(prog, &cfg), &simulate_stepped(prog, &cfg));
             }
+        }
+    }
+}
+
+#[test]
+fn window_accounting_holds_on_adapted_binaries_and_corpus() {
+    // `simulate_windowed` asserts busy + idle + stepped == total_cycles
+    // internally; the sim-crate tests drive it over baselines, this one
+    // adds the SSP-adapted binaries (speculative threads make the busy
+    // batcher work hardest) and the corpus programs.
+    let opts = AdaptOptions::default();
+    for w in &ssp_workloads::suite(ssp_bench::SEED) {
+        let adapted = PostPassTool::new(MachineConfig::in_order())
+            .with_options(opts.clone())
+            .run(&w.program)
+            .expect("adaptation succeeds");
+        for (model, cfg) in machines(120_000) {
+            let what = format!("{} adapted on {model}", w.name);
+            let (r, stats) = simulate_windowed(&adapted.program, &cfg);
+            assert_equivalent(&what, &r, &simulate_stepped(&adapted.program, &cfg));
+            assert_eq!(stats.simulated(), r.total_cycles, "{what}: accounting leak");
+        }
+    }
+    for spec in &ssp_fuzz::corpus::parse(CORPUS).expect("corpus parses") {
+        let prog = ssp_fuzz::gen::generate(spec).expect("corpus entries generate");
+        for (model, cfg) in machines(120_000) {
+            let (r, stats) = simulate_windowed(&prog, &cfg);
+            assert_eq!(stats.simulated(), r.total_cycles, "{spec} on {model}: accounting leak");
         }
     }
 }

@@ -88,6 +88,9 @@ pub enum SkipReason {
     /// The slicer rejected the load (e.g. the profiled root turned out
     /// not to be a load instruction).
     SliceFailed(ssp_slicing::SliceError),
+    /// The profiled delinquent tag is not present in the program's tag
+    /// index — stale or foreign profile data.
+    UnknownTag,
 }
 
 /// Registers never mentioned in the function (safe scratch space for the

@@ -98,6 +98,80 @@ impl AdaptReport {
         self.slices.len()
     }
 
+    /// Whether the adaptation was a no-op: no slice was emitted, so the
+    /// output binary is byte-identical to the input. A no-op is not an
+    /// error — a program with no delinquent loads needs no adaptation —
+    /// but a no-op on a load-bound workload deserves a diagnostic, which
+    /// is why every skipped delinquent load carries a [`SkipReason`]
+    /// and the suite harnesses surface this flag per row.
+    pub fn is_noop(&self) -> bool {
+        self.slices.is_empty()
+    }
+
+    /// Structural digest of the emitted plan: a 64-bit FNV-1a hash (hex)
+    /// over a field-explicit canonical encoding of every emitted slice,
+    /// plus the delinquent and skipped sets. Two adaptations that placed
+    /// the same slices, triggers, and live-ins digest identically; the
+    /// encoding never goes through `Debug` formatting, so the digest is
+    /// stable across rustc versions — it is persisted in the `ssp-serve`
+    /// on-disk store as the identity of a cached adaptation.
+    pub fn plan_digest(&self) -> String {
+        let mut text = String::from("ssp-plan/1");
+        for tag in &self.delinquent {
+            text.push_str(&format!(" d{}", tag.0));
+        }
+        for s in &self.slices {
+            // Full destructuring: adding a field to `EmittedSlice`
+            // breaks this at compile time, forcing the encoding to
+            // cover it (and the `ssp-plan` version to be bumped if the
+            // change is semantic).
+            let EmittedSlice {
+                root_tags,
+                trigger,
+                stub,
+                slice_entry,
+                model,
+                live_ins,
+                slice_len,
+                interprocedural,
+            } = s;
+            let roots: Vec<String> = root_tags.iter().map(|t| t.0.to_string()).collect();
+            let lives: Vec<String> = live_ins.iter().map(|r| r.0.to_string()).collect();
+            let model = match model {
+                ssp_sched::SpModel::Chaining => "chaining",
+                ssp_sched::SpModel::Basic => "basic",
+            };
+            let after = trigger.after.map_or_else(|| "-".to_string(), |i| i.to_string());
+            text.push_str(&format!(
+                " slice roots={} trigger={}:{}:{after} stub={} entry={} model={model} \
+                 live_ins={} len={slice_len} interproc={interprocedural}",
+                roots.join(","),
+                trigger.func.0,
+                trigger.block.0,
+                stub.0,
+                slice_entry.0,
+                lives.join(","),
+            ));
+        }
+        for (tag, reason) in &self.skipped {
+            let reason = match reason {
+                SkipReason::NoScratchRegisters => "no-scratch".to_string(),
+                SkipReason::TooManyLiveIns(n) => format!("live-ins-{n}"),
+                SkipReason::EmptySlice => "empty".to_string(),
+                SkipReason::SliceFailed(_) => "slice-failed".to_string(),
+                SkipReason::UnknownTag => "unknown-tag".to_string(),
+            };
+            text.push_str(&format!(" skip{}={reason}", tag.0));
+        }
+        // FNV-1a, 64-bit.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in text.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("{h:016x}")
+    }
+
     /// Number of interprocedural slices.
     pub fn interprocedural_count(&self) -> usize {
         self.slices.iter().filter(|s| s.interprocedural).count()
@@ -177,7 +251,10 @@ pub fn adapt_traced(
     let mut slicer = Slicer::new(prog, profile, opts.slice.clone());
     let mut plans = Vec::new();
     for &tag in &report.delinquent {
-        let Some(&root) = index.get(&tag) else { continue };
+        let Some(&root) = index.get(&tag) else {
+            report.skipped.push((tag, SkipReason::UnknownTag));
+            continue;
+        };
         let plan = select::plan_for_load_traced(
             &mut slicer,
             prog,
@@ -371,6 +448,20 @@ mod tests {
             assert_eq!(stats.accesses, ssp_stats, "load {tag} executes equally often");
         }
         assert!(ssp.halted && base.halted);
+    }
+
+    #[test]
+    fn plan_digest_identifies_the_plan() {
+        let prog = pointer_chase(200);
+        let mc = MachineConfig::in_order();
+        let profile = ssp_sim::profile(&prog, &mc);
+        let (_, a) = adapt(&prog, &profile, &mc, &AdaptOptions::default()).unwrap();
+        let (_, b) = adapt(&prog, &profile, &mc, &AdaptOptions::default()).unwrap();
+        assert_eq!(a.plan_digest(), b.plan_digest(), "adaptation is deterministic");
+        assert!(!a.is_noop());
+        let empty = AdaptReport::default();
+        assert!(empty.is_noop());
+        assert_ne!(a.plan_digest(), empty.plan_digest());
     }
 
     #[test]

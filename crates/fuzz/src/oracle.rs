@@ -87,7 +87,69 @@ pub struct CaseResult {
     pub threads_spawned: u64,
 }
 
+/// Render one case verdict as a single-line deterministic JSON object —
+/// the canonical per-case shape shared by the fuzz harness and the
+/// `ssp-serve` daemon (which reconstructs the same line from persisted
+/// store entries, so serving a case is byte-identical to running it).
+///
+/// `kinds` is the deduplicated violation-kind list; empty for `pass`
+/// and `baseline-capped` outcomes.
+pub fn case_json(
+    spec: &str,
+    outcome: &str,
+    kinds: &[String],
+    slices: u64,
+    threads_spawned: u64,
+) -> String {
+    let kinds: Vec<String> = kinds.iter().map(|k| format!("\"{k}\"")).collect();
+    format!(
+        concat!(
+            "{{\"spec\": \"{}\", \"outcome\": \"{}\", \"kinds\": [{}], ",
+            "\"slices\": {}, \"threads_spawned\": {}}}"
+        ),
+        spec,
+        outcome,
+        kinds.join(", "),
+        slices,
+        threads_spawned,
+    )
+}
+
 impl CaseResult {
+    /// The outcome's stable wire name (`pass` / `baseline-capped` /
+    /// `violations`).
+    pub fn outcome_name(&self) -> &'static str {
+        match self.outcome {
+            CaseOutcome::Pass => "pass",
+            CaseOutcome::BaselineCapped => "baseline-capped",
+            CaseOutcome::Violations(_) => "violations",
+        }
+    }
+
+    /// Deduplicated violation kinds, in first-seen order (empty unless
+    /// the outcome is `violations`).
+    pub fn violation_kinds(&self) -> Vec<String> {
+        match &self.outcome {
+            CaseOutcome::Violations(vs) => {
+                let mut kinds: Vec<String> = vs.iter().map(|v| v.kind.to_owned()).collect();
+                kinds.dedup();
+                kinds
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Render via [`case_json`].
+    pub fn to_json(&self) -> String {
+        case_json(
+            &self.spec.to_string(),
+            self.outcome_name(),
+            &self.violation_kinds(),
+            self.slices as u64,
+            self.threads_spawned,
+        )
+    }
+
     fn failed(spec: &CaseSpec, kind: &'static str, detail: String) -> Self {
         CaseResult {
             spec: spec.clone(),

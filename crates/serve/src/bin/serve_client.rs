@@ -1,0 +1,87 @@
+//! `serve_client` — one-frame client for a socket-mode `ssp-serve`
+//! daemon, and the corpus-replay tool the differential CI job uses.
+//!
+//! Usage: `serve_client --socket PATH [FILE...]`
+//!
+//! Concatenates the request files (stdin when none are given — so a
+//! fuzz corpus can be piped in verbatim), sends the batch as a single
+//! length-prefixed frame, and prints the daemon's response payload to
+//! stdout. Exits non-zero if the daemon hangs up without answering.
+
+use ssp_serve::{read_frame, write_frame};
+use std::io::Read;
+use std::os::unix::net::UnixStream;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut socket: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--socket" => match args.next() {
+                Some(p) => socket = Some(p),
+                None => return usage("--socket needs a path"),
+            },
+            other => files.push(other.to_owned()),
+        }
+    }
+    let Some(path) = socket else {
+        return usage("--socket PATH is required");
+    };
+
+    let mut batch = String::new();
+    if files.is_empty() {
+        if let Err(e) = std::io::stdin().read_to_string(&mut batch) {
+            eprintln!("serve_client: reading stdin: {e}");
+            return ExitCode::FAILURE;
+        }
+    } else {
+        for f in &files {
+            match std::fs::read_to_string(f) {
+                Ok(text) => {
+                    batch.push_str(&text);
+                    if !batch.ends_with('\n') {
+                        batch.push('\n');
+                    }
+                }
+                Err(e) => {
+                    eprintln!("serve_client: reading {f:?}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
+    let mut conn = match UnixStream::connect(&path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("serve_client: cannot connect to {path:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = write_frame(&mut conn, batch.as_bytes()) {
+        eprintln!("serve_client: sending batch: {e}");
+        return ExitCode::FAILURE;
+    }
+    match read_frame(&mut conn) {
+        Ok(Some(payload)) => {
+            print!("{}", String::from_utf8_lossy(&payload));
+            ExitCode::SUCCESS
+        }
+        Ok(None) => {
+            eprintln!("serve_client: daemon hung up without answering");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("serve_client: reading response: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("serve_client: {err}");
+    eprintln!("usage: serve_client --socket PATH [FILE...]");
+    ExitCode::FAILURE
+}

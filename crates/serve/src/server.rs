@@ -1,0 +1,367 @@
+//! The request scheduler behind `ssp-serve`: batch handling, sharded
+//! in-memory response caches, optional persistent store, and the
+//! `ssp-serve-report/1` statistics document.
+//!
+//! # Caching and sharding
+//!
+//! Every request has a *key* (its full identity, machine-config
+//! fingerprints included) and a *config fingerprint* (the part of the
+//! key that names the configuration). Both cache layers shard by the
+//! fingerprint:
+//!
+//! * the in-memory layer keeps [`NUM_SHARDS`] mutexed maps from key to
+//!   a per-key `OnceLock`, so two in-flight
+//!   requests for the same key compute once and requests for different
+//!   configurations never contend on one lock;
+//! * the on-disk layer (when a store is attached) files each entry
+//!   under [`Store::shard_of`] of the fingerprint.
+//!
+//! A memory miss probes the store before computing; a computed answer
+//! is written back. Warm answers are rendered from the decoded entry by
+//! the same renderer a cold answer uses, so they are byte-identical.
+//!
+//! Counters are schedule-independent for a fixed batch: `misses` counts
+//! distinct keys computed, `disk_hits` distinct keys loaded from the
+//! store, and `hits` every other request — concurrent duplicates block
+//! on the `OnceLock` and count as hits regardless of interleaving.
+//!
+//! # Determinism restriction
+//!
+//! The daemon always adapts with [`AdaptOptions::default`]: the options
+//! struct has no versioned canonical encoding, so non-default options
+//! cannot participate in a stable cache key. One-shot binaries remain
+//! the way to run ablations.
+
+use crate::protocol::{parse_line, Request};
+use crate::store::{CaseEntry, WorkloadEntry};
+use ssp_bench::cache::NUM_SHARDS;
+use ssp_bench::persist::{fnv64, Store};
+use ssp_bench::{parallel, suite_row_json, SEED};
+use ssp_core::{AdaptOptions, MachineConfig};
+use ssp_fuzz::oracle::{run_case, OracleConfig};
+use ssp_fuzz::spec::CaseSpec;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Everything a [`Server`] is parameterized over. The default is the
+/// exact one-shot experiment configuration: paper machine models,
+/// [`SEED`], default oracle, `SSP_THREADS` workers.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Workload builder seed.
+    pub seed: u64,
+    /// In-order machine model.
+    pub io: MachineConfig,
+    /// Out-of-order machine model.
+    pub ooo: MachineConfig,
+    /// Oracle configuration for case requests.
+    pub oracle: OracleConfig,
+    /// Worker threads a batch fans out across.
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            seed: SEED,
+            io: MachineConfig::in_order(),
+            ooo: MachineConfig::out_of_order(),
+            oracle: OracleConfig::default(),
+            workers: parallel::threads(),
+        }
+    }
+}
+
+/// How one response was produced — drives the counter bump after the
+/// per-key `OnceLock` resolves.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Source {
+    Memory,
+    Disk,
+    Computed,
+}
+
+type Shard = Mutex<HashMap<String, Arc<OnceLock<String>>>>;
+
+/// A persistent adaptation service instance.
+///
+/// Instance-based on purpose: "restart the daemon" in a test is just a
+/// second `Server` pointed at the same store directory.
+pub struct Server {
+    config: ServerConfig,
+    store: Option<Store>,
+    shards: Vec<Shard>,
+    hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    requests: AtomicU64,
+    workloads: AtomicU64,
+    cases: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl Server {
+    /// A server with no persistent store (memory-only caching).
+    pub fn new(config: ServerConfig) -> Server {
+        Server {
+            config,
+            store: None,
+            shards: (0..NUM_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            workloads: AtomicU64::new(0),
+            cases: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Attach a persistent store: memory misses probe it, computed
+    /// answers are written back.
+    pub fn with_store(mut self, store: Store) -> Server {
+        self.store = Some(store);
+        self
+    }
+
+    /// The configuration this instance answers under.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Handle one batch of request lines: parse, fan out across
+    /// [`ServerConfig::workers`], and return one JSON response line per
+    /// request, in request order (trailing newline included when the
+    /// batch was non-empty). Blank lines and `#` comments are skipped;
+    /// unparseable lines yield `{"kind": "error", …}` responses in
+    /// place rather than aborting the batch.
+    pub fn handle_batch(&self, input: &str) -> String {
+        let requests: Vec<_> = input.lines().filter_map(parse_line).collect();
+        self.requests.fetch_add(requests.len() as u64, Ordering::Relaxed);
+        let responses = parallel::map_indexed(&requests, self.config.workers, |_, req| match req {
+            Ok(Request::Workload(name)) => self.respond_workload(name),
+            Ok(Request::Case(spec)) => self.respond_case(spec),
+            Err(e) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                format!("{{\"kind\": \"error\", \"error\": \"{}\"}}", json_escape(&e.to_string()))
+            }
+        });
+        let mut out = String::new();
+        for r in responses {
+            out.push_str(&r);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The daemon's statistics document (`ssp-serve-report/1`):
+    /// request/answer counters, the three-way cache verdict, per-shard
+    /// in-memory occupancy, and (when a store is attached) per-shard
+    /// on-disk entry counts. Deterministic for a fixed request multiset.
+    pub fn report_json(&self) -> String {
+        let shard_sizes: Vec<String> = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").len().to_string())
+            .collect();
+        let store_json = match &self.store {
+            None => "null".to_owned(),
+            Some(store) => {
+                let counts: Vec<String> = store
+                    .shard_entry_counts()
+                    .iter()
+                    .map(|(shard, n)| format!("{{\"shard\": \"{shard}\", \"entries\": {n}}}"))
+                    .collect();
+                format!("[{}]", counts.join(", "))
+            }
+        };
+        format!(
+            concat!(
+                "{{\"schema\": \"ssp-serve-report/1\", ",
+                "\"requests\": {}, \"workloads\": {}, \"cases\": {}, \"errors\": {}, ",
+                "\"cache\": {{\"hits\": {}, \"disk_hits\": {}, \"misses\": {}}}, ",
+                "\"memory_shards\": [{}], \"store_shards\": {}}}"
+            ),
+            self.requests.load(Ordering::Relaxed),
+            self.workloads.load(Ordering::Relaxed),
+            self.cases.load(Ordering::Relaxed),
+            self.errors.load(Ordering::Relaxed),
+            self.hits.load(Ordering::Relaxed),
+            self.disk_hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            shard_sizes.join(", "),
+            store_json,
+        )
+    }
+
+    fn respond_workload(&self, name: &str) -> String {
+        self.workloads.fetch_add(1, Ordering::Relaxed);
+        let io_fp = self.config.io.fingerprint();
+        let ooo_fp = self.config.ooo.fingerprint();
+        let key = format!("workload name={name} seed={} io={io_fp} ooo={ooo_fp}", self.config.seed);
+        self.answer(&key, &io_fp, || {
+            if let Some(text) = self.store_load(&io_fp, &key) {
+                if let Ok(entry) = WorkloadEntry::decode(&text) {
+                    return (Source::Disk, render_workload(&entry));
+                }
+            }
+            let w = ssp_workloads::by_name(name, self.config.seed)
+                .expect("parse_line admits only known workload names");
+            let run = ssp_bench::run_benchmark_configured(
+                &w,
+                &AdaptOptions::default(),
+                &self.config.io,
+                &self.config.ooo,
+            );
+            let entry = WorkloadEntry {
+                name: name.to_owned(),
+                seed: self.config.seed,
+                plan_digest: run.report.plan_digest(),
+                slices: run.report.slices.len() as u64,
+                skipped: run.report.skipped.len() as u64,
+                base_io: run.base_io,
+                ssp_io: run.ssp_io,
+                base_ooo: run.base_ooo,
+                ssp_ooo: run.ssp_ooo,
+            };
+            self.store_save(&io_fp, &key, &entry.encode());
+            (Source::Computed, render_workload(&entry))
+        })
+    }
+
+    fn respond_case(&self, spec: &CaseSpec) -> String {
+        self.cases.fetch_add(1, Ordering::Relaxed);
+        let fp = format!("ssp-oracle-config/1 max_cycles={}", self.config.oracle.max_cycles);
+        let key = format!("case {spec} {fp}");
+        self.answer(&key, &fp, || {
+            if let Some(text) = self.store_load(&fp, &key) {
+                if let Ok(entry) = CaseEntry::decode(&text) {
+                    return (Source::Disk, render_case(&entry));
+                }
+            }
+            let result = run_case(spec, &self.config.oracle);
+            let entry = CaseEntry {
+                spec: result.spec.to_string(),
+                outcome: result.outcome_name().to_owned(),
+                kinds: result.violation_kinds(),
+                slices: result.slices as u64,
+                threads_spawned: result.threads_spawned,
+            };
+            self.store_save(&fp, &key, &entry.encode());
+            (Source::Computed, render_case(&entry))
+        })
+    }
+
+    /// Memoize `compute` under `key` in the shard selected by
+    /// `fingerprint`, bumping the hit/disk-hit/miss counters.
+    fn answer(
+        &self,
+        key: &str,
+        fingerprint: &str,
+        compute: impl FnOnce() -> (Source, String),
+    ) -> String {
+        let shard = &self.shards[(fnv64(fingerprint) as usize) % NUM_SHARDS];
+        let cell = shard.lock().expect("shard poisoned").entry(key.to_owned()).or_default().clone();
+        let mut source = Source::Memory;
+        let response = cell.get_or_init(|| {
+            let (src, text) = compute();
+            source = src;
+            text
+        });
+        match source {
+            Source::Memory => &self.hits,
+            Source::Disk => &self.disk_hits,
+            Source::Computed => &self.misses,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        response.clone()
+    }
+
+    fn store_load(&self, fingerprint: &str, key: &str) -> Option<String> {
+        self.store.as_ref()?.load(&Store::shard_of(fingerprint), key)
+    }
+
+    fn store_save(&self, fingerprint: &str, key: &str, payload: &str) {
+        if let Some(store) = &self.store {
+            if let Err(e) = store.save(&Store::shard_of(fingerprint), key, payload) {
+                eprintln!("ssp-serve: store write failed for {key:?}: {e}");
+            }
+        }
+    }
+}
+
+fn render_workload(entry: &WorkloadEntry) -> String {
+    format!(
+        "{{\"kind\": \"workload\", \"row\": {}, \"plan_digest\": \"{}\", \"slices\": {}, \"skipped\": {}}}",
+        suite_row_json(&entry.suite_row()),
+        entry.plan_digest,
+        entry.slices,
+        entry.skipped,
+    )
+}
+
+fn render_case(entry: &CaseEntry) -> String {
+    format!("{{\"kind\": \"case\", \"case\": {}}}", entry.to_json())
+}
+
+/// Minimal JSON string escaping for error text (the only response field
+/// that can carry arbitrary request bytes).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn capped_config() -> ServerConfig {
+        let mut io = MachineConfig::in_order();
+        let mut ooo = MachineConfig::out_of_order();
+        io.max_cycles = 120_000;
+        ooo.max_cycles = 120_000;
+        ServerConfig { seed: SEED, io, ooo, oracle: OracleConfig::default(), workers: 2 }
+    }
+
+    #[test]
+    fn batch_preserves_order_and_counts() {
+        let server = Server::new(capped_config());
+        let out =
+            server.handle_batch("# comment\n\nmcf\nseed=1 chase=48 loads=2\nmcf\nnot-a-request\n");
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("{\"kind\": \"workload\", \"row\": {\"name\": \"mcf\""));
+        assert!(lines[1].starts_with("{\"kind\": \"case\", \"case\": {\"spec\": \"seed=1"));
+        assert_eq!(lines[0], lines[2], "duplicate request, identical response");
+        assert!(lines[3].starts_with("{\"kind\": \"error\""));
+        let report = server.report_json();
+        assert!(report.starts_with("{\"schema\": \"ssp-serve-report/1\""));
+        assert!(report.contains("\"requests\": 4"), "report: {report}");
+        assert!(report.contains("\"errors\": 1"), "report: {report}");
+        assert!(
+            report.contains("\"cache\": {\"hits\": 1, \"disk_hits\": 0, \"misses\": 2}"),
+            "report: {report}"
+        );
+        assert!(report.contains("\"store_shards\": null"), "report: {report}");
+    }
+
+    #[test]
+    fn error_text_is_valid_json() {
+        let server = Server::new(capped_config());
+        let out = server.handle_batch("se\"ed=\\1\n");
+        assert!(out.contains("\\\""), "quotes escaped: {out}");
+        assert!(out.contains("\\\\"), "backslashes escaped: {out}");
+    }
+}

@@ -1,0 +1,288 @@
+//! Serve-level store entries: the versioned payloads `ssp-serve`
+//! persists per answered request, layered on the generic
+//! [`ssp_bench::persist::Store`].
+//!
+//! Two entry kinds exist, one per request kind:
+//!
+//! * [`WorkloadEntry`] (`ssp-serve-workload/1`) — the four serialized
+//!   [`SimResult`]s of a Figure-8 run plus the adaptation's structural
+//!   plan digest and slice/skip counts. The suite row the daemon
+//!   answers with is *reconstructed* from these results, never cached
+//!   as rendered text, so a warm answer is byte-identical to a cold one
+//!   by construction and the differential suite can compare decoded
+//!   results structurally.
+//! * [`CaseEntry`] (`ssp-serve-case/1`) — the oracle verdict of one
+//!   fuzz case: outcome, deduplicated violation kinds, and counters.
+//!
+//! Entries are keyed (and sharded) by the full request identity
+//! including the machine-config fingerprints — see
+//! [`crate::server`] for the key layout.
+
+use ssp_bench::persist::{decode_sim_result, encode_sim_result, PersistError};
+use ssp_bench::SuiteRow;
+use ssp_core::SimResult;
+
+/// Version header of one persisted workload entry.
+pub const WORKLOAD_ENTRY_FORMAT: &str = "ssp-serve-workload/1";
+
+/// Version header of one persisted case entry.
+pub const CASE_ENTRY_FORMAT: &str = "ssp-serve-case/1";
+
+/// A persisted workload answer: everything needed to reproduce the
+/// response (and its diagnostic flags) without re-simulating.
+#[derive(Clone, PartialEq, Debug)]
+pub struct WorkloadEntry {
+    /// Benchmark name.
+    pub name: String,
+    /// Builder seed.
+    pub seed: u64,
+    /// Structural digest of the emitted adaptation plan
+    /// ([`ssp_core::AdaptReport::plan_digest`]).
+    pub plan_digest: String,
+    /// Slices the adaptation emitted (0 = no-op).
+    pub slices: u64,
+    /// Delinquent loads skipped with a reason.
+    pub skipped: u64,
+    /// Baseline, in-order.
+    pub base_io: SimResult,
+    /// Adapted, in-order.
+    pub ssp_io: SimResult,
+    /// Baseline, out-of-order.
+    pub base_ooo: SimResult,
+    /// Adapted, out-of-order.
+    pub ssp_ooo: SimResult,
+}
+
+impl WorkloadEntry {
+    /// Serialize as a versioned text payload.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        out.push_str(WORKLOAD_ENTRY_FORMAT);
+        out.push('\n');
+        out.push_str(&format!("name={}\n", self.name));
+        out.push_str(&format!("seed={}\n", self.seed));
+        out.push_str(&format!("plan_digest={}\n", self.plan_digest));
+        out.push_str(&format!("slices={}\n", self.slices));
+        out.push_str(&format!("skipped={}\n", self.skipped));
+        for r in [&self.base_io, &self.ssp_io, &self.base_ooo, &self.ssp_ooo] {
+            out.push_str(&encode_sim_result(r));
+        }
+        out
+    }
+
+    /// Parse a payload produced by [`WorkloadEntry::encode`].
+    pub fn decode(text: &str) -> Result<WorkloadEntry, PersistError> {
+        let mut lines = text.lines();
+        let header = lines.next().unwrap_or("");
+        if header != WORKLOAD_ENTRY_FORMAT {
+            return Err(PersistError::Header {
+                expected: WORKLOAD_ENTRY_FORMAT,
+                found: header.to_owned(),
+            });
+        }
+        let name = field(lines.next(), "name")?.to_owned();
+        let seed = num(field(lines.next(), "seed")?, "seed")?;
+        let plan_digest = field(lines.next(), "plan_digest")?.to_owned();
+        let slices = num(field(lines.next(), "slices")?, "slices")?;
+        let skipped = num(field(lines.next(), "skipped")?, "skipped")?;
+        let base_io = take_sim_block(&mut lines)?;
+        let ssp_io = take_sim_block(&mut lines)?;
+        let base_ooo = take_sim_block(&mut lines)?;
+        let ssp_ooo = take_sim_block(&mut lines)?;
+        Ok(WorkloadEntry {
+            name,
+            seed,
+            plan_digest,
+            slices,
+            skipped,
+            base_io,
+            ssp_io,
+            base_ooo,
+            ssp_ooo,
+        })
+    }
+
+    /// The suite row this entry answers with — same shape (and hence
+    /// byte-identical JSON) as the one-shot harness's
+    /// [`ssp_bench::BenchmarkRun::suite_row`].
+    pub fn suite_row(&self) -> SuiteRow {
+        SuiteRow {
+            name: self.name.clone(),
+            base_io: self.base_io.cycles,
+            ssp_io: self.ssp_io.cycles,
+            base_ooo: self.base_ooo.cycles,
+            ssp_ooo: self.ssp_ooo.cycles,
+            noop: self.slices == 0,
+            regression_io: self.ssp_io.cycles > self.base_io.cycles,
+            regression_ooo: self.ssp_ooo.cycles > self.base_ooo.cycles,
+        }
+    }
+}
+
+/// A persisted oracle verdict for one fuzz case.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CaseEntry {
+    /// The case, in its reproducible one-line form.
+    pub spec: String,
+    /// Outcome wire name (`pass` / `baseline-capped` / `violations`).
+    pub outcome: String,
+    /// Deduplicated violation kinds (empty unless `violations`).
+    pub kinds: Vec<String>,
+    /// Slices the tool emitted.
+    pub slices: u64,
+    /// Speculative threads spawned across the adapted runs.
+    pub threads_spawned: u64,
+}
+
+impl CaseEntry {
+    /// Serialize as a versioned text payload.
+    pub fn encode(&self) -> String {
+        format!(
+            "{CASE_ENTRY_FORMAT}\nspec={}\noutcome={}\nkinds={}\nslices={}\nthreads_spawned={}\n",
+            self.spec,
+            self.outcome,
+            self.kinds.join(","),
+            self.slices,
+            self.threads_spawned,
+        )
+    }
+
+    /// Parse a payload produced by [`CaseEntry::encode`].
+    pub fn decode(text: &str) -> Result<CaseEntry, PersistError> {
+        let mut lines = text.lines();
+        let header = lines.next().unwrap_or("");
+        if header != CASE_ENTRY_FORMAT {
+            return Err(PersistError::Header {
+                expected: CASE_ENTRY_FORMAT,
+                found: header.to_owned(),
+            });
+        }
+        let spec = field(lines.next(), "spec")?.to_owned();
+        let outcome = field(lines.next(), "outcome")?.to_owned();
+        let kinds = field(lines.next(), "kinds")?;
+        let kinds: Vec<String> = if kinds.is_empty() {
+            Vec::new()
+        } else {
+            kinds.split(',').map(str::to_owned).collect()
+        };
+        let slices = num(field(lines.next(), "slices")?, "slices")?;
+        let threads_spawned = num(field(lines.next(), "threads_spawned")?, "threads_spawned")?;
+        Ok(CaseEntry { spec, outcome, kinds, slices, threads_spawned })
+    }
+
+    /// Render via the canonical [`ssp_fuzz::oracle::case_json`] — the
+    /// same function a cold answer uses, so warm answers are
+    /// byte-identical.
+    pub fn to_json(&self) -> String {
+        ssp_fuzz::oracle::case_json(
+            &self.spec,
+            &self.outcome,
+            &self.kinds,
+            self.slices,
+            self.threads_spawned,
+        )
+    }
+}
+
+fn field<'a>(line: Option<&'a str>, key: &str) -> Result<&'a str, PersistError> {
+    let line = line.ok_or_else(|| PersistError::Malformed(format!("missing field {key}")))?;
+    match line.split_once('=') {
+        Some((k, v)) if k == key => Ok(v),
+        _ => Err(PersistError::Malformed(format!("expected field {key}, found {line:?}"))),
+    }
+}
+
+fn num<T: std::str::FromStr>(v: &str, key: &str) -> Result<T, PersistError> {
+    v.parse().map_err(|_| PersistError::Malformed(format!("field {key}: bad value {v:?}")))
+}
+
+/// Consume one `ssp-sim-result/1` block from a shared line cursor: the
+/// 15 fixed lines (header, 13 scalar fields, `loads=N`) followed by the
+/// `N` per-load rows, re-joined and handed to
+/// [`ssp_bench::persist::decode_sim_result`].
+fn take_sim_block(lines: &mut std::str::Lines<'_>) -> Result<SimResult, PersistError> {
+    let mut block = String::new();
+    let mut n_loads = 0usize;
+    for i in 0..15 {
+        let line = lines
+            .next()
+            .ok_or_else(|| PersistError::Malformed("truncated sim-result block".to_owned()))?;
+        if i == 14 {
+            n_loads = num(field(Some(line), "loads")?, "loads")?;
+        }
+        block.push_str(line);
+        block.push('\n');
+    }
+    for _ in 0..n_loads {
+        let line = lines
+            .next()
+            .ok_or_else(|| PersistError::Malformed("truncated load list".to_owned()))?;
+        block.push_str(line);
+        block.push('\n');
+    }
+    decode_sim_result(&block)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssp_sim::MachineConfig;
+
+    #[test]
+    fn workload_entry_round_trips() {
+        let w = ssp_workloads::mcf::build(11);
+        let mut cfg = MachineConfig::in_order();
+        cfg.max_cycles = 30_000;
+        let r = ssp_core::simulate(&w.program, &cfg);
+        let entry = WorkloadEntry {
+            name: "mcf".to_owned(),
+            seed: 11,
+            plan_digest: "0123456789abcdef".to_owned(),
+            slices: 2,
+            skipped: 1,
+            base_io: r.clone(),
+            ssp_io: SimResult { cycles: r.cycles / 2, ..r.clone() },
+            base_ooo: r.clone(),
+            ssp_ooo: r.clone(),
+        };
+        let decoded = WorkloadEntry::decode(&entry.encode()).unwrap();
+        assert_eq!(decoded, entry);
+        let row = decoded.suite_row();
+        assert!(!row.noop);
+        assert!(!row.regression_io, "ssp_io is faster");
+    }
+
+    #[test]
+    fn case_entry_round_trips() {
+        for entry in [
+            CaseEntry {
+                spec: "seed=1 chase=48 loads=2".to_owned(),
+                outcome: "pass".to_owned(),
+                kinds: vec![],
+                slices: 3,
+                threads_spawned: 40,
+            },
+            CaseEntry {
+                spec: "seed=9 chase=8 loads=1".to_owned(),
+                outcome: "violations".to_owned(),
+                kinds: vec!["reg-mismatch".to_owned(), "mem-mismatch".to_owned()],
+                slices: 0,
+                threads_spawned: 0,
+            },
+        ] {
+            assert_eq!(CaseEntry::decode(&entry.encode()).unwrap(), entry);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_foreign_headers() {
+        assert!(matches!(
+            WorkloadEntry::decode("ssp-serve-workload/999\n"),
+            Err(PersistError::Header { .. })
+        ));
+        assert!(matches!(
+            CaseEntry::decode("ssp-serve-workload/1\n"),
+            Err(PersistError::Header { .. })
+        ));
+    }
+}

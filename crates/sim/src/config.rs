@@ -195,6 +195,96 @@ impl MachineConfig {
         self
     }
 
+    /// Versioned canonical fingerprint: a field-explicit `key=value`
+    /// encoding under a `ssp-machine-config/1` header, stable across
+    /// field reorders, rustc versions, and `Debug` format changes —
+    /// the identity the `ssp-bench` baseline cache and the `ssp-serve`
+    /// on-disk store key their shards by.
+    ///
+    /// Two configs that compare equal always fingerprint identically
+    /// (the one non-canonical field, `MemoryMode::PerfectDelinquent`'s
+    /// `HashSet`, is sorted before encoding). The full-struct
+    /// destructuring is deliberate: adding a field to `MachineConfig`
+    /// breaks this function at compile time, forcing the encoding — and
+    /// its version header, if the change is semantic — to be updated.
+    pub fn fingerprint(&self) -> String {
+        fn cache(c: &CacheConfig) -> String {
+            let CacheConfig { size, assoc, line, latency } = c;
+            format!("{size}:{assoc}:{line}:{latency}")
+        }
+        let MachineConfig {
+            pipeline,
+            num_contexts,
+            bundle_width,
+            bundles_per_cycle,
+            int_units,
+            fp_units,
+            branch_units,
+            mem_ports,
+            l1d,
+            l2,
+            l3,
+            fill_buffer,
+            mem_latency,
+            tlb_miss_penalty,
+            tlb_entries,
+            page_size,
+            gshare_entries,
+            btb_entries,
+            btb_assoc,
+            mispredict_penalty,
+            spawn_flush_penalty,
+            spawn_latency,
+            int_latency,
+            mul_latency,
+            fp_latency,
+            lib_latency,
+            lib_slots,
+            lib_slot_words,
+            rob_entries,
+            rs_entries,
+            expansion_queue_bundles,
+            memory_mode,
+            stride_prefetcher,
+            stride_degree,
+            spec_inst_cap,
+            max_cycles,
+        } = self;
+        let pipeline = match pipeline {
+            PipelineKind::InOrder => "in-order",
+            PipelineKind::OutOfOrder => "out-of-order",
+        };
+        let mode = match memory_mode {
+            MemoryMode::Normal => "normal".to_string(),
+            MemoryMode::PerfectAll => "perfect-all".to_string(),
+            MemoryMode::PerfectDelinquent(tags) => {
+                let mut tags: Vec<u32> = tags.iter().map(|t| t.0).collect();
+                tags.sort_unstable();
+                let tags: Vec<String> = tags.iter().map(u32::to_string).collect();
+                format!("perfect-delinquent:{}", tags.join(","))
+            }
+        };
+        format!(
+            "ssp-machine-config/1 pipeline={pipeline} num_contexts={num_contexts} \
+             bundle_width={bundle_width} bundles_per_cycle={bundles_per_cycle} \
+             int_units={int_units} fp_units={fp_units} branch_units={branch_units} \
+             mem_ports={mem_ports} l1d={} l2={} l3={} fill_buffer={fill_buffer} \
+             mem_latency={mem_latency} tlb_miss_penalty={tlb_miss_penalty} \
+             tlb_entries={tlb_entries} page_size={page_size} gshare_entries={gshare_entries} \
+             btb_entries={btb_entries} btb_assoc={btb_assoc} \
+             mispredict_penalty={mispredict_penalty} spawn_flush_penalty={spawn_flush_penalty} \
+             spawn_latency={spawn_latency} int_latency={int_latency} mul_latency={mul_latency} \
+             fp_latency={fp_latency} lib_latency={lib_latency} lib_slots={lib_slots} \
+             lib_slot_words={lib_slot_words} rob_entries={rob_entries} rs_entries={rs_entries} \
+             expansion_queue_bundles={expansion_queue_bundles} memory_mode={mode} \
+             stride_prefetcher={stride_prefetcher} stride_degree={stride_degree} \
+             spec_inst_cap={spec_inst_cap} max_cycles={max_cycles}",
+            cache(l1d),
+            cache(l2),
+            cache(l3),
+        )
+    }
+
     /// Same machine with the hardware stride prefetcher enabled.
     pub fn with_stride_prefetcher(mut self) -> Self {
         self.stride_prefetcher = true;
@@ -229,5 +319,43 @@ mod tests {
     fn memory_mode_builder() {
         let c = MachineConfig::in_order().with_memory_mode(MemoryMode::PerfectAll);
         assert_eq!(c.memory_mode, MemoryMode::PerfectAll);
+    }
+
+    #[test]
+    fn fingerprint_is_pinned() {
+        // Golden encoding of the Table-1 in-order model. This string is
+        // persisted in on-disk store shards: if this test fails because
+        // the encoding changed, bump the version header — do not just
+        // update the expectation.
+        assert_eq!(
+            MachineConfig::in_order().fingerprint(),
+            "ssp-machine-config/1 pipeline=in-order num_contexts=4 bundle_width=3 \
+             bundles_per_cycle=2 int_units=4 fp_units=2 branch_units=3 mem_ports=2 \
+             l1d=16384:4:64:2 l2=262144:4:64:14 l3=3145728:12:64:30 fill_buffer=16 \
+             mem_latency=230 tlb_miss_penalty=30 tlb_entries=128 page_size=4096 \
+             gshare_entries=2048 btb_entries=256 btb_assoc=4 mispredict_penalty=9 \
+             spawn_flush_penalty=12 spawn_latency=4 int_latency=1 mul_latency=3 fp_latency=4 \
+             lib_latency=1 lib_slots=32 lib_slot_words=16 rob_entries=255 rs_entries=18 \
+             expansion_queue_bundles=16 memory_mode=normal stride_prefetcher=false \
+             stride_degree=2 spec_inst_cap=50000 max_cycles=2000000000"
+        );
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_and_canonicalizes() {
+        use ssp_ir::InstTag;
+        let io = MachineConfig::in_order();
+        assert_ne!(io.fingerprint(), MachineConfig::out_of_order().fingerprint());
+        let mut capped = io.clone();
+        capped.max_cycles = 1;
+        assert_ne!(io.fingerprint(), capped.fingerprint());
+        // PerfectDelinquent sets built in different insertion orders
+        // (HashSet iteration order is not stable) encode identically.
+        let fwd: HashSet<_> = (0..20).map(InstTag).collect();
+        let rev: HashSet<_> = (0..20).rev().map(InstTag).collect();
+        assert_eq!(
+            io.clone().with_memory_mode(MemoryMode::PerfectDelinquent(fwd)).fingerprint(),
+            io.clone().with_memory_mode(MemoryMode::PerfectDelinquent(rev)).fingerprint(),
+        );
     }
 }

@@ -399,8 +399,14 @@ impl<'a> Engine<'a> {
                 }
             }
             let step = self.step_cycle();
-            if let Some(w) = self.winstats.as_deref_mut() {
-                w.stepped_cycles += 1;
+            // The halting cycle is excluded from `total_cycles` (the
+            // clock is never advanced past it), so it must not be
+            // counted as a stepped cycle either — the window regimes
+            // partition exactly the cycles `total_cycles` counts.
+            if !step.halt {
+                if let Some(w) = self.winstats.as_deref_mut() {
+                    w.stepped_cycles += 1;
+                }
             }
             if step.halt {
                 halted = true;
@@ -1483,6 +1489,15 @@ pub fn simulate_windowed(prog: &Program, cfg: &MachineConfig) -> (SimResult, Win
     e.winstats = Some(Box::new(WindowStats::default()));
     e.run_to_end();
     let w = e.winstats.take().expect("window stats installed above");
+    assert_eq!(
+        w.simulated(),
+        e.result.total_cycles,
+        "window accounting: busy {} + idle {} + stepped {} must equal total_cycles {}",
+        w.busy_cycles,
+        w.idle_cycles,
+        w.stepped_cycles,
+        e.result.total_cycles,
+    );
     (e.result, *w)
 }
 

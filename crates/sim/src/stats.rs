@@ -174,7 +174,7 @@ pub fn speedup(base: &SimResult, new: &SimResult) -> f64 {
 pub const WINDOW_HIST_BUCKETS: usize = 24;
 
 /// How the fast engine spent its simulated cycles — the per-window
-/// instrumentation behind `ssp-perf-report/3`'s `windows` object.
+/// instrumentation behind `ssp-perf-report/4`'s `windows` object.
 ///
 /// Three regimes are distinguished:
 ///
@@ -227,6 +227,16 @@ fn hist_bucket(len: u64) -> usize {
 }
 
 impl WindowStats {
+    /// Total cycles the three regimes account for. The accounting
+    /// invariant — asserted by `simulate_windowed`, the crosscheck
+    /// suites, and `perf_report` — is that this equals the run's
+    /// `total_cycles`: every simulated cycle lands in exactly one
+    /// regime (the halting cycle, which `total_cycles` excludes, is
+    /// counted by none).
+    pub fn simulated(&self) -> u64 {
+        self.busy_cycles + self.idle_cycles + self.stepped_cycles
+    }
+
     /// Record one completed busy window of `len` cycles.
     pub fn record_busy(&mut self, len: u64) {
         self.busy_windows += 1;

@@ -256,8 +256,16 @@ impl Engine<'_> {
                 drain_thread(&mut self.threads[tid], commit_width, entry, drain_to);
             }
         }
+        // The window's contribution to `total_cycles` is `cycle - entry`:
+        // on halt the clock stays on the halt cycle, which
+        // `total_cycles` excludes, so it is not part of the window
+        // length either (a window that halts on its first cycle
+        // contributes nothing and is not recorded).
         if let Some(w) = self.winstats.as_deref_mut() {
-            w.record_busy(drain_to - entry + 1);
+            let len = self.cycle - entry;
+            if len > 0 {
+                w.record_busy(len);
+            }
         }
         if halted {
             BatchOutcome::Halt

@@ -11,7 +11,7 @@
 //! The bench-crate twin (`event_queue_crosscheck` there) extends this to
 //! SSP-adapted binaries and the checked-in fuzz corpus.
 
-use ssp_sim::{simulate_crosschecked, simulate_stepped, MachineConfig};
+use ssp_sim::{simulate_crosschecked, simulate_stepped, simulate_windowed, MachineConfig};
 
 const SEED: u64 = 2002;
 
@@ -34,6 +34,32 @@ fn event_queues_match_brute_force_rescan_on_workload_baselines() {
             let checked = simulate_crosschecked(&w.program, &cfg);
             let stepped = simulate_stepped(&w.program, &cfg);
             assert_eq!(checked, stepped, "{} on {model}: crosschecked run diverged", w.name);
+        }
+    }
+}
+
+#[test]
+fn window_accounting_covers_every_simulated_cycle() {
+    // `simulate_windowed` asserts busy + idle + stepped == total_cycles
+    // internally; this drives that invariant across the same grid the
+    // crosscheck runs on, including odd caps that halt mid-window.
+    for w in ssp_workloads::suite(SEED) {
+        for cap in [997, 20_011, 120_000] {
+            for (model, cfg) in machines(cap) {
+                let (windowed, stats) = simulate_windowed(&w.program, &cfg);
+                let stepped = simulate_stepped(&w.program, &cfg);
+                assert_eq!(
+                    windowed, stepped,
+                    "{} on {model} capped at {cap}: windowed run diverged",
+                    w.name
+                );
+                assert_eq!(
+                    stats.simulated(),
+                    windowed.total_cycles,
+                    "{} on {model} capped at {cap}: accounting leak",
+                    w.name
+                );
+            }
         }
     }
 }

@@ -17,6 +17,7 @@ DOCS = [
     "ARCHITECTURE.md",
     "EXPERIMENTS.md",
     "docs/ENGINE.md",
+    "docs/SERVE.md",
 ]
 
 LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
