@@ -1,4 +1,4 @@
-//! Process-wide memoization of baseline simulations, sharded by machine
+//! Process-wide memoization of workload simulations, sharded by machine
 //! config and optionally spilled to an on-disk store.
 //!
 //! Every experiment binary re-simulates the same original workloads:
@@ -7,6 +7,10 @@
 //! `perf_report` times the whole lot. Those runs are pure functions of
 //! `(program, machine config)`, so each distinct pair needs to be
 //! simulated exactly once per process; [`baseline`] guarantees that.
+//! Adapted binaries are pure too, once the adaptation options join the
+//! identity: [`adapted`] keys on `AdaptOptions::fingerprint` plus the
+//! tool's profiling machine, so the auto-tuner's candidate plans, the
+//! default suite rows, and ablation runs all coexist in one cache.
 //!
 //! Programs are identified by `(workload name, builder seed)` — the
 //! builders are deterministic, so that pair pins the binary bit-for-bit
@@ -48,20 +52,34 @@ pub const NUM_SHARDS: usize = 16;
 
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 struct Key {
+    /// Entry kind: `"baseline"` (original binary, identified by the
+    /// workload alone) or `"adapted"` (identified additionally by
+    /// `adaptation` — the options fingerprint plus the tool's profiling
+    /// machine). Part of the key, so the two kinds can never collide.
+    kind: &'static str,
     name: &'static str,
     seed: u64,
     next_tag: u32,
     image_len: usize,
+    /// Adaptation identity (`opts=… tool=… …`); empty for baselines.
+    adaptation: String,
     config: String,
 }
 
 impl Key {
     /// The canonical key string persisted (inside the entry, as the
-    /// collision guard) by the disk layer.
+    /// collision guard) by the disk layer. Baseline keys render exactly
+    /// as they did before adapted entries existed, so stores written by
+    /// older binaries stay warm.
     fn disk_key(&self) -> String {
+        let adaptation = if self.adaptation.is_empty() {
+            String::new()
+        } else {
+            format!("{} ", self.adaptation)
+        };
         format!(
-            "baseline name={} seed={} next_tag={} image_len={} {}",
-            self.name, self.seed, self.next_tag, self.image_len, self.config
+            "{} name={} seed={} next_tag={} image_len={} {}{}",
+            self.kind, self.name, self.seed, self.next_tag, self.image_len, adaptation, self.config
         )
     }
 }
@@ -98,20 +116,59 @@ pub fn detach_store() {
 /// [`ssp_core::simulate`] — unless the attached store already holds the
 /// result, which is decoded instead; every later request (from any
 /// thread) returns a clone of the stored result.
-///
-/// Only baselines belong here: adapted binaries are not pure functions
-/// of `(name, seed)` — they depend on the adaptation options — and each
-/// suite run adapts once anyway.
 pub fn baseline(w: &Workload, cfg: &MachineConfig) -> SimResult {
-    let fingerprint = cfg.fingerprint();
-    let shard_idx = (fnv64(&fingerprint) % NUM_SHARDS as u64) as usize;
     let key = Key {
+        kind: "baseline",
         name: w.name,
         seed: w.seed,
         next_tag: w.program.next_tag,
         image_len: w.program.image.len(),
-        config: fingerprint,
+        adaptation: String::new(),
+        config: cfg.fingerprint(),
     };
+    memoized(key, || simulate(&w.program, cfg))
+}
+
+/// Simulate workload `w`'s *adapted* binary under `cfg`, memoized like
+/// [`baseline`]. An adapted binary is a pure function of the workload,
+/// the adaptation options, and the tool's profiling machine, so the key
+/// extends the baseline identity with [`AdaptOptions::fingerprint`]
+/// (`opts_fp`) and the profiling machine's fingerprint (`tool_fp`) —
+/// before that versioned options encoding existed, tuned and default
+/// plans would have collided on workload+seed+machine alone, which is
+/// why only baselines used to be cacheable. `adapted_prog` (the emitted
+/// binary itself) is simulated on a miss; its `next_tag` rides along in
+/// the key as a cheap structural integrity check.
+///
+/// [`AdaptOptions::fingerprint`]: ssp_core::AdaptOptions::fingerprint
+pub fn adapted(
+    w: &Workload,
+    opts_fp: &str,
+    tool_fp: &str,
+    adapted_prog: &ssp_ir::Program,
+    cfg: &MachineConfig,
+) -> SimResult {
+    let key = Key {
+        kind: "adapted",
+        name: w.name,
+        seed: w.seed,
+        next_tag: w.program.next_tag,
+        image_len: w.program.image.len(),
+        adaptation: format!(
+            "adapted_next_tag={} opts={opts_fp} tool={tool_fp}",
+            adapted_prog.next_tag
+        ),
+        config: cfg.fingerprint(),
+    };
+    memoized(key, || simulate(adapted_prog, cfg))
+}
+
+/// The shared memoization path behind [`baseline`] and [`adapted`]:
+/// per-key `OnceLock` in the shard selected by the machine-config
+/// fingerprint, disk probe + write-back when a store is attached, and
+/// the schedule-independent hit/disk-hit/miss accounting.
+fn memoized(key: Key, compute: impl FnOnce() -> SimResult) -> SimResult {
+    let shard_idx = (fnv64(&key.config) % NUM_SHARDS as u64) as usize;
     let cell: Cell = {
         let mut map = shards()[shard_idx].lock().expect("baseline cache shard poisoned");
         Arc::clone(map.entry(key.clone()).or_default())
@@ -130,7 +187,7 @@ pub fn baseline(w: &Workload, cfg: &MachineConfig) -> SimResult {
             }
         }
         computed = true;
-        simulate(&w.program, cfg)
+        compute()
     });
     if computed {
         MISSES.fetch_add(1, Ordering::Relaxed);
@@ -194,6 +251,37 @@ mod tests {
         assert_eq!(after.misses, mid.misses, "repeat requests never re-simulate");
         assert_eq!(after.hits, mid.hits + 8, "every repeat request is a hit");
         assert_eq!(first, ssp_core::simulate_stepped(&w.program, &cfg), "cache returns the truth");
+    }
+
+    #[test]
+    fn adapted_entries_key_on_the_options_fingerprint() {
+        let w = ssp_workloads::mcf::build(SEED);
+        let mut cfg = MachineConfig::in_order();
+        cfg.max_cycles = 17_389; // unique to this test, so the deltas are ours
+        let before = stats();
+        let a = adapted(&w, "ssp-adapt-options/1 test=a", "tool", &w.program, &cfg);
+        let mid = stats();
+        assert_eq!(mid.misses, before.misses + 1, "first request simulates");
+        let b = adapted(&w, "ssp-adapt-options/1 test=b", "tool", &w.program, &cfg);
+        let after = stats();
+        assert_eq!(
+            after.misses,
+            mid.misses + 1,
+            "a different options fingerprint must be a different key"
+        );
+        assert_eq!(a, b, "same program, same config: same truth under either key");
+        let again = adapted(&w, "ssp-adapt-options/1 test=a", "tool", &w.program, &cfg);
+        assert_eq!(again, a, "repeat request answers from memory");
+        // Baseline and adapted entries never collide, even when the
+        // "adapted" binary is byte-identical to the original (a no-op
+        // adaptation): the key kind keeps the namespaces disjoint.
+        let base = baseline(&w, &cfg);
+        assert_eq!(base, a);
+        assert_eq!(
+            stats().misses,
+            after.misses + 1,
+            "baseline keys are disjoint from adapted keys"
+        );
     }
 
     #[test]

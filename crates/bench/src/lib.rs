@@ -28,9 +28,7 @@ pub mod parallel;
 pub mod persist;
 pub mod trace;
 
-use ssp_core::{
-    simulate, AdaptOptions, AdaptReport, MachineConfig, MemoryMode, PostPassTool, SimResult,
-};
+use ssp_core::{AdaptOptions, AdaptReport, MachineConfig, MemoryMode, PostPassTool, SimResult};
 use ssp_workloads::Workload;
 
 /// Default deterministic seed for all experiments.
@@ -200,12 +198,14 @@ pub fn run_benchmark_configured(
 ) -> BenchmarkRun {
     let tool = PostPassTool::new(io.clone()).with_options(opts.clone());
     let adapted = tool.run(&w.program).expect("adaptation succeeds");
+    let opts_fp = opts.fingerprint();
+    let tool_fp = io.fingerprint();
     BenchmarkRun {
         name: w.name,
         base_io: cache::baseline(w, io),
-        ssp_io: simulate(&adapted.program, io),
+        ssp_io: cache::adapted(w, &opts_fp, &tool_fp, &adapted.program, io),
         base_ooo: cache::baseline(w, ooo),
-        ssp_ooo: simulate(&adapted.program, ooo),
+        ssp_ooo: cache::adapted(w, &opts_fp, &tool_fp, &adapted.program, ooo),
         report: adapted.report,
     }
 }
@@ -242,15 +242,17 @@ pub fn run_suite_configured(
             .run(&w.program)
             .expect("adaptation succeeds")
     });
+    let opts_fp = opts.fingerprint();
+    let tool_fp = io.fingerprint();
     // All simulations of the suite, flattened: workload-major, with the
     // four machine/binary combinations of `BenchmarkRun` per workload.
     let tasks: Vec<(usize, u8)> =
         (0..ws.len()).flat_map(|wi| (0..4u8).map(move |k| (wi, k))).collect();
     let sims = parallel::map_indexed(&tasks, workers, |_, &(wi, k)| match k {
         0 => cache::baseline(&ws[wi], io),
-        1 => simulate(&adapted[wi].program, io),
+        1 => cache::adapted(&ws[wi], &opts_fp, &tool_fp, &adapted[wi].program, io),
         2 => cache::baseline(&ws[wi], ooo),
-        _ => simulate(&adapted[wi].program, ooo),
+        _ => cache::adapted(&ws[wi], &opts_fp, &tool_fp, &adapted[wi].program, ooo),
     });
     let mut sims = sims.into_iter();
     ws.iter()

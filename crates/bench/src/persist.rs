@@ -299,7 +299,7 @@ impl Store {
     }
 
     /// Entry count per shard, sorted by shard name — the `shards`
-    /// section of the daemon's `ssp-serve-report/1`.
+    /// section of the daemon's `ssp-serve-report/2`.
     pub fn shard_entry_counts(&self) -> Vec<(String, usize)> {
         let mut out = Vec::new();
         let Ok(dirs) = fs::read_dir(&self.root) else { return out };

@@ -81,6 +81,58 @@ impl Default for AdaptOptions {
     }
 }
 
+impl AdaptOptions {
+    /// Versioned field-explicit canonical encoding of the full option
+    /// tree — the adaptation-side half of a cache key, alongside
+    /// [`MachineConfig::fingerprint`] for the machine-side half.
+    ///
+    /// Two option sets that compare field-equal always fingerprint
+    /// identically, and the encoding never goes through `Debug`
+    /// formatting (whose output is not stable across field reorders or
+    /// rustc versions — which disk-persistent cache layers could not
+    /// tolerate). Floats are rendered with `Display`, whose
+    /// shortest-round-trip output is pinned by the golden test below.
+    ///
+    /// The full-struct destructuring (of every nested options struct
+    /// too) is deliberate: adding a knob anywhere in the tree breaks
+    /// this function at compile time, forcing the encoding — and the
+    /// `ssp-adapt-options` version, if the change is semantic — to be
+    /// updated. This is what lets tuned and default plans coexist in the
+    /// `ssp-bench`/`ssp-serve` caches: before this encoding existed,
+    /// adapted results could only be keyed by workload+seed+machine, so
+    /// non-default options could not participate in a stable key at all.
+    pub fn fingerprint(&self) -> String {
+        let AdaptOptions { coverage, slice, select, emit } = self;
+        let ssp_slicing::SliceOptions { speculative, min_block_count, control_deps } = slice;
+        let SelectOptions {
+            cutoff_pct,
+            max_region_depth,
+            max_slice_size,
+            small_trip_count,
+            min_slack,
+            force_model,
+            sched,
+        } = select;
+        let ssp_sched::ScheduleOptions { loop_rotation, condition_prediction, predict_threshold } =
+            sched;
+        let EmitOptions { chain_budget } = emit;
+        let force = match force_model {
+            None => "none",
+            Some(ssp_sched::SpModel::Basic) => "basic",
+            Some(ssp_sched::SpModel::Chaining) => "chaining",
+        };
+        format!(
+            "ssp-adapt-options/1 coverage={coverage} speculative={speculative} \
+             min_block_count={min_block_count} control_deps={control_deps} \
+             cutoff_pct={cutoff_pct} max_region_depth={max_region_depth} \
+             max_slice_size={max_slice_size} small_trip_count={small_trip_count} \
+             min_slack={min_slack} force_model={force} loop_rotation={loop_rotation} \
+             condition_prediction={condition_prediction} predict_threshold={predict_threshold} \
+             chain_budget={chain_budget}"
+        )
+    }
+}
+
 /// What the adaptation did — the source of Table 2.
 #[derive(Clone, Debug, Default)]
 pub struct AdaptReport {
@@ -462,6 +514,34 @@ mod tests {
         let empty = AdaptReport::default();
         assert!(empty.is_noop());
         assert_ne!(a.plan_digest(), empty.plan_digest());
+    }
+
+    #[test]
+    fn adapt_options_fingerprint_is_golden_pinned() {
+        // The exact default encoding is pinned: a drift here means every
+        // persisted tuned/default entry silently re-keys, so any change
+        // must be deliberate (and bump the ssp-adapt-options version if
+        // the meaning of a knob changed).
+        assert_eq!(
+            AdaptOptions::default().fingerprint(),
+            "ssp-adapt-options/1 coverage=0.9 speculative=true min_block_count=1 \
+             control_deps=true cutoff_pct=0.1 max_region_depth=3 max_slice_size=64 \
+             small_trip_count=6 min_slack=100 force_model=none loop_rotation=true \
+             condition_prediction=true predict_threshold=0.9 chain_budget=512"
+        );
+    }
+
+    #[test]
+    fn adapt_options_fingerprint_separates_tuned_from_default() {
+        let base = AdaptOptions::default();
+        let mut tuned = base.clone();
+        tuned.emit.chain_budget = 3;
+        assert_ne!(base.fingerprint(), tuned.fingerprint());
+        let mut forced = base.clone();
+        forced.select.force_model = Some(ssp_sched::SpModel::Basic);
+        assert_ne!(base.fingerprint(), forced.fingerprint());
+        assert_ne!(tuned.fingerprint(), forced.fingerprint());
+        assert_eq!(base.fingerprint(), AdaptOptions::default().fingerprint());
     }
 
     #[test]

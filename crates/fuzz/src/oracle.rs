@@ -213,6 +213,21 @@ fn check_model(
     mentioned: &[bool],
     out: &mut Vec<Violation>,
 ) {
+    check_equivalence(model, base, adapted, mentioned, out);
+    check_ssp_invariants(model, adapted, adapted_res, out);
+}
+
+/// The architectural-equivalence half of [`check_model`]: trap status,
+/// tag-filtered commit stream, mentioned registers, memory digest.
+/// Meaningless when the baseline hit the cycle cap (the baseline never
+/// reached its final state), so capped-baseline callers skip this half.
+fn check_equivalence(
+    model: &str,
+    base: &ArchSnapshot,
+    adapted: &ArchSnapshot,
+    mentioned: &[bool],
+    out: &mut Vec<Violation>,
+) {
     if adapted.trap != base.trap {
         let kind =
             if adapted.trap == TrapKind::CycleCap { "timeout-divergence" } else { "trap-mismatch" };
@@ -255,6 +270,16 @@ fn check_model(
             ),
         });
     }
+}
+
+/// The dynamic SSP-invariant half of [`check_model`]: spec-store
+/// freedom and spawn balance. Valid on any run, capped or not.
+fn check_ssp_invariants(
+    model: &str,
+    adapted: &ArchSnapshot,
+    adapted_res: &SimResult,
+    out: &mut Vec<Violation>,
+) {
     if adapted.spec_store_attempts != 0 {
         out.push(Violation {
             kind: "spec-store",
@@ -301,6 +326,81 @@ fn check_engines(
             ),
         });
     }
+}
+
+/// Baseline snapshots of one *original* program on both machine models,
+/// for use with [`check_adapted`]. Computed once per program and reused
+/// across every candidate adaptation of it — the auto-tuner gates
+/// dozens of candidate plans per workload against the same baselines.
+#[derive(Clone, PartialEq, Debug)]
+pub struct BaselineSnapshots {
+    /// Tag bound separating original from tool-synthesized instructions
+    /// (`prog.next_tag` of the original binary).
+    pub bound: u32,
+    /// Mentioned-register mask of the original program.
+    pub mentioned: Vec<bool>,
+    /// Baseline result + snapshot, in-order model.
+    pub io: (SimResult, ArchSnapshot),
+    /// Baseline result + snapshot, out-of-order model.
+    pub ooo: (SimResult, ArchSnapshot),
+}
+
+/// Simulate `prog` unadapted on both models and capture everything
+/// [`check_adapted`] needs.
+pub fn baseline_snapshots(
+    prog: &Program,
+    io: &MachineConfig,
+    ooo: &MachineConfig,
+) -> BaselineSnapshots {
+    let bound = prog.next_tag;
+    BaselineSnapshots {
+        bound,
+        mentioned: mentioned_regs(prog),
+        io: simulate_snapshot(prog, io, bound),
+        ooo: simulate_snapshot(prog, ooo, bound),
+    }
+}
+
+/// Run the oracle's invariant and equivalence checks on one
+/// already-adapted binary — the same checks [`run_case`] applies to its
+/// generated programs, exposed for harnesses (the `ssp-tune` optimizer)
+/// that adapt real workloads with non-default options and must prove
+/// every candidate plan transparent before trusting its cycle count:
+///
+/// * static spec-store freedom (`verify_speculative`) and the
+///   one-trigger-per-stub discipline;
+/// * on each model, the dynamic SSP invariants (no speculative stores,
+///   spawn balance) — always — and full architectural equivalence
+///   (trap, commit stream, registers, memory) whenever that model's
+///   baseline halted below the cycle cap (a capped baseline never
+///   reached its final state, so equivalence is unevaluable there, as
+///   in [`run_case`]'s `baseline-capped` verdict).
+///
+/// Returns the violations plus the adapted binary's results on both
+/// models, so callers steering on cycle counts pay no extra simulation.
+pub fn check_adapted(
+    adapted: &Program,
+    base: &BaselineSnapshots,
+    io: &MachineConfig,
+    ooo: &MachineConfig,
+) -> (Vec<Violation>, SimResult, SimResult) {
+    let mut violations = Vec::new();
+    if let Err(e) = ssp_ir::verify::verify_speculative(adapted) {
+        violations.push(Violation { kind: "store-in-slice", detail: e.to_string() });
+    }
+    check_single_trigger(adapted, &mut violations);
+    let (a_io_res, a_io) = simulate_snapshot(adapted, io, base.bound);
+    let (a_ooo_res, a_ooo) = simulate_snapshot(adapted, ooo, base.bound);
+    for (model, b_snap, (a_res, a_snap)) in [
+        ("in-order", &base.io.1, (&a_io_res, &a_io)),
+        ("out-of-order", &base.ooo.1, (&a_ooo_res, &a_ooo)),
+    ] {
+        if b_snap.trap != TrapKind::CycleCap {
+            check_equivalence(model, b_snap, a_snap, &base.mentioned, &mut violations);
+        }
+        check_ssp_invariants(model, a_snap, a_res, &mut violations);
+    }
+    (violations, a_io_res, a_ooo_res)
 }
 
 /// Run the full differential check for one case.

@@ -1,8 +1,9 @@
 //! `ssp-serve` — the persistent adaptation-as-a-service daemon.
 //!
-//! Reads adapt+simulate requests (workload names or raw fuzz-case
-//! specs, one per line; blank lines and `#` comments skipped) and
-//! answers one JSON object per line, in request order. Two transports:
+//! Reads adapt+simulate requests (workload names, `tune <name>`
+//! auto-tune requests, or raw fuzz-case specs, one per line; blank
+//! lines and `#` comments skipped) and answers one JSON object per
+//! line, in request order. Two transports:
 //!
 //! * **stdin** (default): the whole of stdin is one batch; responses go
 //!   to stdout, then the daemon exits. A fuzz corpus file can be piped
@@ -22,9 +23,11 @@
 //!   machine configs fingerprint differently, so capped and uncapped
 //!   answers never mix in the caches);
 //! * `--workers N` — override the worker pool size (default:
-//!   `SSP_THREADS`, else all cores).
+//!   `SSP_THREADS`, else all cores);
+//! * `--tune-rounds N` — greedy-round cap for `tune` requests (default:
+//!   the `ssp-tune` crate's cap; part of the tune cache key).
 //!
-//! On exit the daemon prints its `ssp-serve-report/1` statistics
+//! On exit the daemon prints its `ssp-serve-report/2` statistics
 //! document to stderr.
 
 use ssp_bench::persist::Store;
@@ -60,6 +63,10 @@ fn main() -> ExitCode {
                 Some(n) if n > 0 => config.workers = n,
                 _ => return usage("--workers needs a positive integer"),
             },
+            "--tune-rounds" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => config.tune_rounds = n,
+                _ => return usage("--tune-rounds needs a positive integer"),
+            },
             other => return usage(&format!("unknown argument {other:?}")),
         }
     }
@@ -93,7 +100,7 @@ fn main() -> ExitCode {
 fn usage(err: &str) -> ExitCode {
     eprintln!("ssp-serve: {err}");
     eprintln!(
-        "usage: ssp_serve [--socket PATH] [--store DIR] [--max-cycles N] [--workers N] < requests"
+        "usage: ssp_serve [--socket PATH] [--store DIR] [--max-cycles N] [--workers N] [--tune-rounds N] < requests"
     );
     ExitCode::FAILURE
 }

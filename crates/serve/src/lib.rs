@@ -4,9 +4,9 @@
 //! rebuild every adaptation and simulation from scratch per invocation.
 //! This crate turns the same pipeline into a *persistent service*: a
 //! [`Server`] accepts batches of adapt+simulate requests — workload
-//! names or raw fuzz-case specs — fans them out across a worker pool,
-//! and answers from sharded caches that survive restarts via an on-disk
-//! store.
+//! names, `tune <name>` auto-tune requests, or raw fuzz-case specs —
+//! fans them out across a worker pool, and answers from sharded caches
+//! that survive restarts via an on-disk store.
 //!
 //! The contract that makes the service trustworthy is **byte-identity**:
 //! every response is rendered by the same canonical renderers the
@@ -22,8 +22,8 @@
 //! * [`protocol`] — request grammar, response framing;
 //! * [`server`] — batch scheduler, sharded caches, statistics report;
 //! * [`store`] — the versioned persisted entry payloads
-//!   (`ssp-serve-workload/1`, `ssp-serve-case/1`), layered on
-//!   [`ssp_bench::persist::Store`].
+//!   (`ssp-serve-workload/1`, `ssp-serve-case/1`, `ssp-serve-tune/1`),
+//!   layered on [`ssp_bench::persist::Store`].
 //!
 //! See `docs/SERVE.md` for the protocol specification and a worked
 //! client session.
@@ -36,4 +36,7 @@ pub mod store;
 
 pub use protocol::{parse_line, read_frame, write_frame, Request, RequestError, MAX_FRAME};
 pub use server::{Server, ServerConfig};
-pub use store::{CaseEntry, WorkloadEntry, CASE_ENTRY_FORMAT, WORKLOAD_ENTRY_FORMAT};
+pub use store::{
+    CaseEntry, TuneEntry, WorkloadEntry, CASE_ENTRY_FORMAT, TUNE_ENTRY_FORMAT,
+    WORKLOAD_ENTRY_FORMAT,
+};

@@ -9,6 +9,8 @@
 //! * a **workload name** (`em3d`, `treeadd.df`, … — exactly the names
 //!   of [`ssp_workloads::NAMES`]): adapt that workload and simulate the
 //!   four Figure-8 configurations;
+//! * a **tune request** (`tune <workload-name>`): run the closed-loop
+//!   `ssp-tune` auto-tuner on that workload, both machine models;
 //! * a **raw `CaseSpec` line** (`seed=1 chase=48 loads=2 …`): run the
 //!   full differential adaptation oracle on the generated program.
 //!
@@ -42,6 +44,8 @@ pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
 pub enum Request {
     /// Adapt + simulate one named benchmark workload.
     Workload(String),
+    /// Auto-tune one named benchmark workload on both machine models.
+    Tune(String),
     /// Run the differential oracle on one generated case.
     Case(CaseSpec),
 }
@@ -74,6 +78,16 @@ pub fn parse_line(line: &str) -> Option<Result<Request, RequestError>> {
     }
     if ssp_workloads::NAMES.contains(&line) {
         return Some(Ok(Request::Workload(line.to_owned())));
+    }
+    if let Some(rest) = line.strip_prefix("tune ") {
+        let name = rest.trim();
+        if ssp_workloads::NAMES.contains(&name) {
+            return Some(Ok(Request::Tune(name.to_owned())));
+        }
+        return Some(Err(RequestError {
+            line: line.to_owned(),
+            reason: format!("tune takes a workload name ({})", ssp_workloads::NAMES.join(", ")),
+        }));
     }
     match CaseSpec::parse(line) {
         Ok(spec) => Some(Ok(Request::Case(spec))),
@@ -135,6 +149,17 @@ mod tests {
         assert_eq!(parse_line(""), None);
         assert_eq!(parse_line("# a comment"), None);
         assert!(matches!(parse_line("not-a-thing"), Some(Err(_))));
+    }
+
+    #[test]
+    fn parses_tune_requests() {
+        assert_eq!(parse_line("tune em3d"), Some(Ok(Request::Tune("em3d".to_owned()))));
+        assert_eq!(
+            parse_line("  tune   treeadd.df "),
+            Some(Ok(Request::Tune("treeadd.df".to_owned())))
+        );
+        let err = parse_line("tune nonesuch").unwrap().unwrap_err();
+        assert!(err.reason.contains("tune takes a workload name"), "{}", err.reason);
     }
 
     #[test]

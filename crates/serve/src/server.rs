@@ -1,6 +1,6 @@
 //! The request scheduler behind `ssp-serve`: batch handling, sharded
 //! in-memory response caches, optional persistent store, and the
-//! `ssp-serve-report/1` statistics document.
+//! `ssp-serve-report/2` statistics document.
 //!
 //! # Caching and sharding
 //!
@@ -25,21 +25,26 @@
 //! store, and `hits` every other request — concurrent duplicates block
 //! on the `OnceLock` and count as hits regardless of interleaving.
 //!
-//! # Determinism restriction
+//! # Options in keys
 //!
-//! The daemon always adapts with [`AdaptOptions::default`]: the options
-//! struct has no versioned canonical encoding, so non-default options
-//! cannot participate in a stable cache key. One-shot binaries remain
-//! the way to run ablations.
+//! Adaptation options participate in every adaptation-bearing cache
+//! key via the versioned [`AdaptOptions::fingerprint`]
+//! (`ssp-adapt-options/1`), so default-options workload answers and
+//! tuned plans can never collide on workload + seed + machine alone.
+//! Plain workload requests still adapt with [`AdaptOptions::default`];
+//! `tune <name>` requests run the `ssp-tune` closed loop (which
+//! explores non-default options under the same keying discipline) and
+//! persist the tuned rows as their own entry kind.
 
 use crate::protocol::{parse_line, Request};
-use crate::store::{CaseEntry, WorkloadEntry};
+use crate::store::{CaseEntry, TuneEntry, WorkloadEntry};
 use ssp_bench::cache::NUM_SHARDS;
 use ssp_bench::persist::{fnv64, Store};
 use ssp_bench::{parallel, suite_row_json, SEED};
 use ssp_core::{AdaptOptions, MachineConfig};
 use ssp_fuzz::oracle::{run_case, OracleConfig};
 use ssp_fuzz::spec::CaseSpec;
+use ssp_tune::{TargetModel, TuneConfig, Tuner};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -59,6 +64,9 @@ pub struct ServerConfig {
     pub oracle: OracleConfig,
     /// Worker threads a batch fans out across.
     pub workers: usize,
+    /// Greedy-round cap for `tune` requests (part of the tune cache
+    /// key: different caps are different answers).
+    pub tune_rounds: usize,
 }
 
 impl Default for ServerConfig {
@@ -69,6 +77,7 @@ impl Default for ServerConfig {
             ooo: MachineConfig::out_of_order(),
             oracle: OracleConfig::default(),
             workers: parallel::threads(),
+            tune_rounds: ssp_tune::DEFAULT_MAX_ROUNDS,
         }
     }
 }
@@ -98,6 +107,7 @@ pub struct Server {
     requests: AtomicU64,
     workloads: AtomicU64,
     cases: AtomicU64,
+    tunes: AtomicU64,
     errors: AtomicU64,
 }
 
@@ -114,6 +124,7 @@ impl Server {
             requests: AtomicU64::new(0),
             workloads: AtomicU64::new(0),
             cases: AtomicU64::new(0),
+            tunes: AtomicU64::new(0),
             errors: AtomicU64::new(0),
         }
     }
@@ -141,6 +152,7 @@ impl Server {
         self.requests.fetch_add(requests.len() as u64, Ordering::Relaxed);
         let responses = parallel::map_indexed(&requests, self.config.workers, |_, req| match req {
             Ok(Request::Workload(name)) => self.respond_workload(name),
+            Ok(Request::Tune(name)) => self.respond_tune(name),
             Ok(Request::Case(spec)) => self.respond_case(spec),
             Err(e) => {
                 self.errors.fetch_add(1, Ordering::Relaxed);
@@ -155,7 +167,7 @@ impl Server {
         out
     }
 
-    /// The daemon's statistics document (`ssp-serve-report/1`):
+    /// The daemon's statistics document (`ssp-serve-report/2`):
     /// request/answer counters, the three-way cache verdict, per-shard
     /// in-memory occupancy, and (when a store is attached) per-shard
     /// on-disk entry counts. Deterministic for a fixed request multiset.
@@ -178,14 +190,15 @@ impl Server {
         };
         format!(
             concat!(
-                "{{\"schema\": \"ssp-serve-report/1\", ",
-                "\"requests\": {}, \"workloads\": {}, \"cases\": {}, \"errors\": {}, ",
+                "{{\"schema\": \"ssp-serve-report/2\", ",
+                "\"requests\": {}, \"workloads\": {}, \"cases\": {}, \"tunes\": {}, \"errors\": {}, ",
                 "\"cache\": {{\"hits\": {}, \"disk_hits\": {}, \"misses\": {}}}, ",
                 "\"memory_shards\": [{}], \"store_shards\": {}}}"
             ),
             self.requests.load(Ordering::Relaxed),
             self.workloads.load(Ordering::Relaxed),
             self.cases.load(Ordering::Relaxed),
+            self.tunes.load(Ordering::Relaxed),
             self.errors.load(Ordering::Relaxed),
             self.hits.load(Ordering::Relaxed),
             self.disk_hits.load(Ordering::Relaxed),
@@ -199,7 +212,11 @@ impl Server {
         self.workloads.fetch_add(1, Ordering::Relaxed);
         let io_fp = self.config.io.fingerprint();
         let ooo_fp = self.config.ooo.fingerprint();
-        let key = format!("workload name={name} seed={} io={io_fp} ooo={ooo_fp}", self.config.seed);
+        let opts_fp = AdaptOptions::default().fingerprint();
+        let key = format!(
+            "workload name={name} seed={} io={io_fp} ooo={ooo_fp} opts={opts_fp}",
+            self.config.seed
+        );
         self.answer(&key, &io_fp, || {
             if let Some(text) = self.store_load(&io_fp, &key) {
                 if let Ok(entry) = WorkloadEntry::decode(&text) {
@@ -227,6 +244,52 @@ impl Server {
             };
             self.store_save(&io_fp, &key, &entry.encode());
             (Source::Computed, render_workload(&entry))
+        })
+    }
+
+    fn respond_tune(&self, name: &str) -> String {
+        self.tunes.fetch_add(1, Ordering::Relaxed);
+        let io_fp = self.config.io.fingerprint();
+        let ooo_fp = self.config.ooo.fingerprint();
+        let opts_fp = AdaptOptions::default().fingerprint();
+        let key = format!(
+            "tune name={name} seed={} rounds={} io={io_fp} ooo={ooo_fp} opts={opts_fp}",
+            self.config.seed, self.config.tune_rounds
+        );
+        self.answer(&key, &io_fp, || {
+            if let Some(text) = self.store_load(&io_fp, &key) {
+                if let Ok(entry) = TuneEntry::decode(&text) {
+                    return (Source::Disk, render_tune(&entry));
+                }
+            }
+            let w = ssp_workloads::by_name(name, self.config.seed)
+                .expect("parse_line admits only known workload names");
+            // Workers = 1: the batch is already fanned out across the
+            // server's pool; nested fan-out would oversubscribe it.
+            let mut tuner = Tuner::new(TuneConfig {
+                seed: self.config.seed,
+                io: self.config.io.clone(),
+                ooo: self.config.ooo.clone(),
+                max_rounds: self.config.tune_rounds,
+                workers: 1,
+            });
+            if let Some(store) = &self.store {
+                // The tuner's own evaluation cache shares the daemon's
+                // store directory, so a restarted daemon replays even
+                // half-finished tunes from disk.
+                if let Ok(s) = Store::open(store.root()) {
+                    tuner = tuner.with_store(s);
+                }
+            }
+            let entry = TuneEntry {
+                name: name.to_owned(),
+                seed: self.config.seed,
+                rounds: self.config.tune_rounds as u64,
+                io_row: tuner.tune_workload(&w, TargetModel::InOrder),
+                ooo_row: tuner.tune_workload(&w, TargetModel::OutOfOrder),
+            };
+            self.store_save(&io_fp, &key, &entry.encode());
+            (Source::Computed, render_tune(&entry))
         })
     }
 
@@ -305,6 +368,19 @@ fn render_case(entry: &CaseEntry) -> String {
     format!("{{\"kind\": \"case\", \"case\": {}}}", entry.to_json())
 }
 
+/// Render a tune answer from its entry — same path cold and warm, so
+/// both are byte-identical (the rows go through
+/// [`ssp_tune::report::row_json`], the renderer the `tune` binary
+/// uses).
+fn render_tune(entry: &TuneEntry) -> String {
+    format!(
+        "{{\"kind\": \"tune\", \"rounds\": {}, \"io\": {}, \"ooo\": {}}}",
+        entry.rounds,
+        ssp_tune::report::row_json(&entry.io_row),
+        ssp_tune::report::row_json(&entry.ooo_row),
+    )
+}
+
 /// Minimal JSON string escaping for error text (the only response field
 /// that can carry arbitrary request bytes).
 fn json_escape(s: &str) -> String {
@@ -332,7 +408,14 @@ mod tests {
         let mut ooo = MachineConfig::out_of_order();
         io.max_cycles = 120_000;
         ooo.max_cycles = 120_000;
-        ServerConfig { seed: SEED, io, ooo, oracle: OracleConfig::default(), workers: 2 }
+        ServerConfig {
+            seed: SEED,
+            io,
+            ooo,
+            oracle: OracleConfig::default(),
+            workers: 2,
+            tune_rounds: 2,
+        }
     }
 
     #[test]
@@ -347,7 +430,8 @@ mod tests {
         assert_eq!(lines[0], lines[2], "duplicate request, identical response");
         assert!(lines[3].starts_with("{\"kind\": \"error\""));
         let report = server.report_json();
-        assert!(report.starts_with("{\"schema\": \"ssp-serve-report/1\""));
+        assert!(report.starts_with("{\"schema\": \"ssp-serve-report/2\""));
+        assert!(report.contains("\"tunes\": 0"), "report: {report}");
         assert!(report.contains("\"requests\": 4"), "report: {report}");
         assert!(report.contains("\"errors\": 1"), "report: {report}");
         assert!(

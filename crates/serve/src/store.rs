@@ -2,7 +2,7 @@
 //! persists per answered request, layered on the generic
 //! [`ssp_bench::persist::Store`].
 //!
-//! Two entry kinds exist, one per request kind:
+//! Three entry kinds exist, one per request kind:
 //!
 //! * [`WorkloadEntry`] (`ssp-serve-workload/1`) — the four serialized
 //!   [`SimResult`]s of a Figure-8 run plus the adaptation's structural
@@ -13,6 +13,9 @@
 //!   results structurally.
 //! * [`CaseEntry`] (`ssp-serve-case/1`) — the oracle verdict of one
 //!   fuzz case: outcome, deduplicated violation kinds, and counters.
+//! * [`TuneEntry`] (`ssp-serve-tune/1`) — the auto-tuner's outcome for
+//!   one workload: the two `ssp-tune-row/1` rows (in-order and
+//!   out-of-order), re-rendered from the decoded rows on warm answers.
 //!
 //! Entries are keyed (and sharded) by the full request identity
 //! including the machine-config fingerprints — see
@@ -27,6 +30,9 @@ pub const WORKLOAD_ENTRY_FORMAT: &str = "ssp-serve-workload/1";
 
 /// Version header of one persisted case entry.
 pub const CASE_ENTRY_FORMAT: &str = "ssp-serve-case/1";
+
+/// Version header of one persisted tune entry.
+pub const TUNE_ENTRY_FORMAT: &str = "ssp-serve-tune/1";
 
 /// A persisted workload answer: everything needed to reproduce the
 /// response (and its diagnostic flags) without re-simulating.
@@ -184,6 +190,56 @@ impl CaseEntry {
     }
 }
 
+/// A persisted auto-tune answer: both machine models' tuned rows.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TuneEntry {
+    /// Benchmark name.
+    pub name: String,
+    /// Builder seed.
+    pub seed: u64,
+    /// Round cap the tuner ran under.
+    pub rounds: u64,
+    /// Tuned row targeting the in-order model.
+    pub io_row: ssp_tune::TuneRow,
+    /// Tuned row targeting the out-of-order model.
+    pub ooo_row: ssp_tune::TuneRow,
+}
+
+impl TuneEntry {
+    /// Serialize as a versioned text payload: the header fields
+    /// followed by two concatenated `ssp-tune-row/1` blocks.
+    pub fn encode(&self) -> String {
+        format!(
+            "{TUNE_ENTRY_FORMAT}\nname={}\nseed={}\nrounds={}\n{}{}",
+            self.name,
+            self.seed,
+            self.rounds,
+            ssp_tune::report::encode_row(&self.io_row),
+            ssp_tune::report::encode_row(&self.ooo_row),
+        )
+    }
+
+    /// Parse a payload produced by [`TuneEntry::encode`].
+    pub fn decode(text: &str) -> Result<TuneEntry, PersistError> {
+        let mut lines = text.lines();
+        let header = lines.next().unwrap_or("");
+        if header != TUNE_ENTRY_FORMAT {
+            return Err(PersistError::Header {
+                expected: TUNE_ENTRY_FORMAT,
+                found: header.to_owned(),
+            });
+        }
+        let name = field(lines.next(), "name")?.to_owned();
+        let seed = num(field(lines.next(), "seed")?, "seed")?;
+        let rounds = num(field(lines.next(), "rounds")?, "rounds")?;
+        let io_row = ssp_tune::report::decode_row_stream(&mut lines)
+            .ok_or_else(|| PersistError::Malformed("bad in-order tune row".to_owned()))?;
+        let ooo_row = ssp_tune::report::decode_row_stream(&mut lines)
+            .ok_or_else(|| PersistError::Malformed("bad out-of-order tune row".to_owned()))?;
+        Ok(TuneEntry { name, seed, rounds, io_row, ooo_row })
+    }
+}
+
 fn field<'a>(line: Option<&'a str>, key: &str) -> Result<&'a str, PersistError> {
     let line = line.ok_or_else(|| PersistError::Malformed(format!("missing field {key}")))?;
     match line.split_once('=') {
@@ -272,6 +328,36 @@ mod tests {
         ] {
             assert_eq!(CaseEntry::decode(&entry.encode()).unwrap(), entry);
         }
+    }
+
+    #[test]
+    fn tune_entry_round_trips() {
+        let row = |model: &str, moves: Vec<(String, u64)>| ssp_tune::TuneRow {
+            name: "em3d".to_owned(),
+            model: model.to_owned(),
+            base_cycles: 98634,
+            default_cycles: 139867,
+            default_noop: false,
+            tuned_cycles: 98580,
+            tuned_slices: 2,
+            tuned_plan_digest: "ab12".to_owned(),
+            tuned_opts: "ssp-adapt-options/1 coverage=0.99".to_owned(),
+            verdict: "win".to_owned(),
+            rounds: 3,
+            candidates: 38,
+            emitting_candidates: 30,
+            best_candidate_cycles: 98580,
+            timeliness: ssp_sim::TimelinessCounts { early: 1, timely: 2, late: 3, useless: 4 },
+            moves,
+        };
+        let entry = TuneEntry {
+            name: "em3d".to_owned(),
+            seed: 11,
+            rounds: 8,
+            io_row: row("in-order", vec![]),
+            ooo_row: row("out-of-order", vec![("force_model=basic".to_owned(), 99537)]),
+        };
+        assert_eq!(TuneEntry::decode(&entry.encode()).unwrap(), entry);
     }
 
     #[test]

@@ -16,27 +16,36 @@ use ssp_core::{AdaptOptions, MachineConfig};
 use ssp_fuzz::oracle::{run_case, OracleConfig};
 use ssp_fuzz::spec::CaseSpec;
 use ssp_serve::{read_frame, write_frame, Server, ServerConfig};
+use ssp_tune::{TargetModel, TuneConfig, Tuner};
 use std::path::PathBuf;
 
 const CORPUS: &str = include_str!("../../../tests/corpus/adaptation_oracle.corpus");
 const MAX_CYCLES: u64 = 120_000;
+
+/// The workload the batch tunes. One request keeps the debug-build cost
+/// of the closed loop bounded; determinism across worker counts for the
+/// full tuner lives in `ssp-tune`'s own suite.
+const TUNED: &str = "treeadd.df";
 
 fn capped_config(workers: usize) -> ServerConfig {
     let mut io = MachineConfig::in_order();
     let mut ooo = MachineConfig::out_of_order();
     io.max_cycles = MAX_CYCLES;
     ooo.max_cycles = MAX_CYCLES;
-    ServerConfig { seed: SEED, io, ooo, oracle: OracleConfig::default(), workers }
+    ServerConfig { seed: SEED, io, ooo, oracle: OracleConfig::default(), workers, tune_rounds: 2 }
 }
 
-/// The full request batch: every suite workload plus the checked-in
-/// fuzz corpus, verbatim (comments and all).
+/// The full request batch: every suite workload, one tune request, plus
+/// the checked-in fuzz corpus, verbatim (comments and all).
 fn batch() -> String {
     let mut b = String::new();
     for name in ssp_workloads::NAMES {
         b.push_str(name);
         b.push('\n');
     }
+    b.push_str("tune ");
+    b.push_str(TUNED);
+    b.push('\n');
     b.push_str(CORPUS);
     b
 }
@@ -57,6 +66,20 @@ fn expected_responses(cfg: &ServerConfig) -> String {
             run.report.skipped.len(),
         ));
     }
+    let w = ssp_workloads::by_name(TUNED, cfg.seed).expect("suite name");
+    let tuner = Tuner::new(TuneConfig {
+        seed: cfg.seed,
+        io: cfg.io.clone(),
+        ooo: cfg.ooo.clone(),
+        max_rounds: cfg.tune_rounds,
+        workers: 1,
+    });
+    out.push_str(&format!(
+        "{{\"kind\": \"tune\", \"rounds\": {}, \"io\": {}, \"ooo\": {}}}\n",
+        cfg.tune_rounds,
+        ssp_tune::report::row_json(&tuner.tune_workload(&w, TargetModel::InOrder)),
+        ssp_tune::report::row_json(&tuner.tune_workload(&w, TargetModel::OutOfOrder)),
+    ));
     for line in CORPUS.lines() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {

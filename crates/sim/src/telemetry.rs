@@ -346,6 +346,70 @@ mod tests {
     }
 
     #[test]
+    fn completion_exactly_at_the_consuming_cycle_counts_completed() {
+        // Boundary of the `ready_at <= now` comparison: the fill lands
+        // on the very cycle the consuming load executes. That is still
+        // a completed prefetch, and an L1 hit there is timely.
+        let mut t = tel(&[(PF, ROOT)]);
+        t.record_prefetch(PF, 0x1000, 230, HitWhere::Mem);
+        t.record_demand(CONSUMER, 0x1000, HitWhere::L1, 230);
+        // One cycle earlier the same fill is still in flight.
+        t.record_prefetch(PF, 0x2000, 230, HitWhere::Mem);
+        t.record_demand(CONSUMER, 0x2000, HitWhere::MemPartial, 229);
+        let trace = t.finish(&SimResult::default(), 1000);
+        assert_eq!(trace.histogram(CONSUMER.0).timely, 1);
+        assert_eq!(trace.histogram(CONSUMER.0).late, 1);
+        assert_eq!(trace.prefetches_completed, 1);
+    }
+
+    #[test]
+    fn table_evicted_line_is_gone_for_later_demands() {
+        // Overflow the probe window so the earliest-completing entry
+        // (the victim) is displaced, then demand the victim's line: the
+        // consuming load must find nothing — the eviction already
+        // settled that prefetch as useless.
+        let mut t = tel(&[(PF, ROOT)]);
+        let mut lines = Vec::new();
+        let home0 = t.home(0);
+        let mut cand = 0u64;
+        while lines.len() < PROBE_LIMIT + 1 {
+            if t.home(cand << 6) == home0 {
+                lines.push(cand << 6);
+            }
+            cand += 1;
+        }
+        // Ascending ready_at: the first inserted line is the victim.
+        for (i, &l) in lines.iter().enumerate() {
+            t.record_prefetch(PF, l, 100 + i as u64, HitWhere::Mem);
+        }
+        t.record_demand(CONSUMER, lines[0], HitWhere::L1, 5000);
+        let trace = t.finish(&SimResult::default(), 10_000);
+        assert_eq!(trace.prefetch_table_evictions, 1);
+        assert_eq!(trace.histogram(CONSUMER.0).total(), 0);
+        // Victim + the rest drained at finish; nothing double-counted.
+        assert_eq!(trace.totals().total(), (PROBE_LIMIT + 1) as u64);
+        assert_eq!(trace.histogram(ROOT.0).useless, (PROBE_LIMIT + 1) as u64);
+    }
+
+    #[test]
+    fn double_prefetch_keeps_the_first_entry_consumable() {
+        // A duplicate prefetch of an already-tracked line is useless on
+        // the spot but must not clobber the original entry — the
+        // eventual demand load still consumes it as timely.
+        let mut t = tel(&[(PF, ROOT)]);
+        t.record_prefetch(PF, 0x1000, 230, HitWhere::Mem);
+        t.record_prefetch(PF, 0x1008, 400, HitWhere::Mem);
+        let trace_mid_useless = 1; // settled immediately for the duplicate
+        t.record_demand(CONSUMER, 0x1000, HitWhere::L1, 500);
+        let trace = t.finish(&SimResult::default(), 1000);
+        assert_eq!(trace.histogram(ROOT.0).useless, trace_mid_useless);
+        assert_eq!(trace.histogram(CONSUMER.0).timely, 1);
+        assert_eq!(trace.prefetches_issued, 2);
+        // Only the surviving (first) entry's fill completed before use.
+        assert_eq!(trace.prefetches_completed, 1);
+    }
+
+    #[test]
     fn untargeted_prefetch_credits_its_own_tag() {
         let mut t = tel(&[]);
         t.record_prefetch(PF, 0x1000, 230, HitWhere::Mem);

@@ -1,0 +1,281 @@
+//! The `ssp-tune-report/1` document and the per-row `ssp-tune-row/1`
+//! line encoding (what `ssp-serve` persists for `tune` requests).
+//!
+//! Rendering is fully deterministic: fields in fixed order, integers
+//! only (speedup is rendered with four fixed decimals), moves in
+//! acceptance order. Two tune runs over the same inputs produce
+//! byte-identical documents regardless of worker count or cache
+//! temperature.
+
+use ssp_trace::TimelinessCounts;
+
+/// Versioned schema name of the report document.
+pub const REPORT_FORMAT: &str = "ssp-tune-report/1";
+/// Versioned line encoding of one row.
+pub const ROW_FORMAT: &str = "ssp-tune-row/1";
+
+/// The outcome of tuning one workload on one machine model.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TuneRow {
+    /// Workload name.
+    pub name: String,
+    /// Target model name (`in-order` / `out-of-order`).
+    pub model: String,
+    /// Unadapted cycles on the target model.
+    pub base_cycles: u64,
+    /// Cycles of the default-options plan (baseline cycles if that
+    /// plan is a no-op or was rejected).
+    pub default_cycles: u64,
+    /// The default plan emitted nothing.
+    pub default_noop: bool,
+    /// Cycles of the tuned plan (== `base_cycles` when the best plan
+    /// is the no-op).
+    pub tuned_cycles: u64,
+    /// Slices in the tuned plan.
+    pub tuned_slices: u64,
+    /// `AdaptReport::plan_digest` of the tuned plan (`-` for no-op).
+    pub tuned_plan_digest: String,
+    /// `AdaptOptions::fingerprint` of the tuned options.
+    pub tuned_opts: String,
+    /// `win` (strictly below baseline) or `structural-cap`.
+    pub verdict: String,
+    /// Greedy rounds executed (including the plateau round).
+    pub rounds: u64,
+    /// Candidates evaluated (default plan included).
+    pub candidates: u64,
+    /// Clean candidates that emitted at least one slice.
+    pub emitting_candidates: u64,
+    /// Minimum target-model cycles over every clean candidate — the
+    /// machine-checked evidence behind a `structural-cap` verdict
+    /// (must be `>= base_cycles` there).
+    pub best_candidate_cycles: u64,
+    /// Figure-9 timeliness totals of the tuned plan on the target.
+    pub timeliness: TimelinessCounts,
+    /// Accepted moves: (knob label, cycles after accepting it).
+    pub moves: Vec<(String, u64)>,
+}
+
+impl TuneRow {
+    /// `base / tuned` (1.0 when the tuned plan is the baseline no-op).
+    pub fn speedup(&self) -> f64 {
+        self.base_cycles as f64 / self.tuned_cycles as f64
+    }
+
+    /// The tuned plan beat the baseline.
+    pub fn is_win(&self) -> bool {
+        self.verdict == "win"
+    }
+}
+
+/// One row as a single JSON line.
+pub fn row_json(r: &TuneRow) -> String {
+    let moves: Vec<String> = r
+        .moves
+        .iter()
+        .map(|(label, cycles)| format!("{{\"move\": \"{label}\", \"cycles\": {cycles}}}"))
+        .collect();
+    format!(
+        concat!(
+            "{{\"name\": \"{}\", \"model\": \"{}\", \"base_cycles\": {}, ",
+            "\"default_cycles\": {}, \"default_noop\": {}, \"tuned_cycles\": {}, ",
+            "\"tuned_slices\": {}, \"speedup\": {:.4}, \"verdict\": \"{}\", ",
+            "\"rounds\": {}, \"candidates\": {}, \"emitting_candidates\": {}, ",
+            "\"best_candidate_cycles\": {}, ",
+            "\"timeliness\": {{\"early\": {}, \"timely\": {}, \"late\": {}, \"useless\": {}}}, ",
+            "\"moves\": [{}], \"plan_digest\": \"{}\", \"tuned_opts\": \"{}\"}}"
+        ),
+        r.name,
+        r.model,
+        r.base_cycles,
+        r.default_cycles,
+        r.default_noop,
+        r.tuned_cycles,
+        r.tuned_slices,
+        r.speedup(),
+        r.verdict,
+        r.rounds,
+        r.candidates,
+        r.emitting_candidates,
+        r.best_candidate_cycles,
+        r.timeliness.early,
+        r.timeliness.timely,
+        r.timeliness.late,
+        r.timeliness.useless,
+        moves.join(", "),
+        r.tuned_plan_digest,
+        r.tuned_opts,
+    )
+}
+
+/// The full report document: schema header, run parameters, one row
+/// per line.
+pub fn render_report(
+    seed: u64,
+    max_rounds: usize,
+    io_fp: &str,
+    ooo_fp: &str,
+    rows: &[TuneRow],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{REPORT_FORMAT}\",\n"));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"max_rounds\": {max_rounds},\n"));
+    out.push_str(&format!("  \"io\": \"{io_fp}\",\n"));
+    out.push_str(&format!("  \"ooo\": \"{ooo_fp}\",\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        out.push_str(&format!("    {}{comma}\n", row_json(r)));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Encode one row in the key=value line format the serve store uses.
+pub fn encode_row(r: &TuneRow) -> String {
+    let mut out = format!(
+        concat!(
+            "{}\nname={}\nmodel={}\nbase_cycles={}\ndefault_cycles={}\n",
+            "default_noop={}\ntuned_cycles={}\ntuned_slices={}\nplan_digest={}\n",
+            "verdict={}\nrounds={}\ncandidates={}\nemitting_candidates={}\n",
+            "best_candidate_cycles={}\ntimeliness={},{},{},{}\nopts={}\nmoves={}\n"
+        ),
+        ROW_FORMAT,
+        r.name,
+        r.model,
+        r.base_cycles,
+        r.default_cycles,
+        r.default_noop,
+        r.tuned_cycles,
+        r.tuned_slices,
+        r.tuned_plan_digest,
+        r.verdict,
+        r.rounds,
+        r.candidates,
+        r.emitting_candidates,
+        r.best_candidate_cycles,
+        r.timeliness.early,
+        r.timeliness.timely,
+        r.timeliness.late,
+        r.timeliness.useless,
+        r.tuned_opts,
+        r.moves.len(),
+    );
+    for (label, cycles) in &r.moves {
+        out.push_str(&format!("{cycles} {label}\n"));
+    }
+    out
+}
+
+fn field<'a>(lines: &mut impl Iterator<Item = &'a str>, name: &str) -> Option<&'a str> {
+    let line = lines.next()?;
+    let (k, v) = line.split_once('=')?;
+    (k == name).then_some(v)
+}
+
+/// Decode [`encode_row`] output. `None` on any structural mismatch
+/// (treat as a cache miss and recompute).
+pub fn decode_row(text: &str) -> Option<TuneRow> {
+    decode_row_stream(&mut text.lines())
+}
+
+/// Decode one row from a shared line cursor, consuming exactly the
+/// lines [`encode_row`] produced — callers holding several
+/// concatenated rows (the serve store's tune entry) call this per row.
+pub fn decode_row_stream(lines: &mut std::str::Lines<'_>) -> Option<TuneRow> {
+    if lines.next()? != ROW_FORMAT {
+        return None;
+    }
+    let name = field(&mut *lines, "name")?.to_owned();
+    let model = field(&mut *lines, "model")?.to_owned();
+    let base_cycles = field(&mut *lines, "base_cycles")?.parse().ok()?;
+    let default_cycles = field(&mut *lines, "default_cycles")?.parse().ok()?;
+    let default_noop = field(&mut *lines, "default_noop")?.parse().ok()?;
+    let tuned_cycles = field(&mut *lines, "tuned_cycles")?.parse().ok()?;
+    let tuned_slices = field(&mut *lines, "tuned_slices")?.parse().ok()?;
+    let tuned_plan_digest = field(&mut *lines, "plan_digest")?.to_owned();
+    let verdict = field(&mut *lines, "verdict")?.to_owned();
+    let rounds = field(&mut *lines, "rounds")?.parse().ok()?;
+    let candidates = field(&mut *lines, "candidates")?.parse().ok()?;
+    let emitting_candidates = field(&mut *lines, "emitting_candidates")?.parse().ok()?;
+    let best_candidate_cycles = field(&mut *lines, "best_candidate_cycles")?.parse().ok()?;
+    let mut counts = field(&mut *lines, "timeliness")?.split(',');
+    let mut n = || counts.next().and_then(|v| v.parse().ok());
+    let timeliness = TimelinessCounts { early: n()?, timely: n()?, late: n()?, useless: n()? };
+    let tuned_opts = field(&mut *lines, "opts")?.to_owned();
+    let count: usize = field(&mut *lines, "moves")?.parse().ok()?;
+    let mut moves = Vec::with_capacity(count);
+    for _ in 0..count {
+        let (cycles, label) = lines.next()?.split_once(' ')?;
+        moves.push((label.to_owned(), cycles.parse().ok()?));
+    }
+    Some(TuneRow {
+        name,
+        model,
+        base_cycles,
+        default_cycles,
+        default_noop,
+        tuned_cycles,
+        tuned_slices,
+        tuned_plan_digest,
+        tuned_opts,
+        verdict,
+        rounds,
+        candidates,
+        emitting_candidates,
+        best_candidate_cycles,
+        timeliness,
+        moves,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TuneRow {
+        TuneRow {
+            name: "em3d".to_owned(),
+            model: "out-of-order".to_owned(),
+            base_cycles: 98634,
+            default_cycles: 139867,
+            default_noop: false,
+            tuned_cycles: 98509,
+            tuned_slices: 2,
+            tuned_plan_digest: "ab12cd34".to_owned(),
+            tuned_opts: "ssp-adapt-options/1 coverage=0.99".to_owned(),
+            verdict: "win".to_owned(),
+            rounds: 4,
+            candidates: 41,
+            emitting_candidates: 30,
+            best_candidate_cycles: 98509,
+            timeliness: TimelinessCounts { early: 1, timely: 22, late: 3, useless: 4 },
+            moves: vec![
+                ("force_model=basic".to_owned(), 99537),
+                ("coverage=0.99".to_owned(), 98738),
+            ],
+        }
+    }
+
+    #[test]
+    fn row_roundtrips_through_the_codec() {
+        let r = sample();
+        assert_eq!(decode_row(&encode_row(&r)), Some(r.clone()));
+        let bare = TuneRow { moves: Vec::new(), ..r };
+        assert_eq!(decode_row(&encode_row(&bare)), Some(bare));
+        assert_eq!(decode_row("not a row"), None);
+    }
+
+    #[test]
+    fn report_rendering_is_stable() {
+        let text = render_report(2002, 8, "io-fp", "ooo-fp", &[sample()]);
+        assert!(text.starts_with("{\n  \"schema\": \"ssp-tune-report/1\",\n"));
+        assert!(text.contains("\"seed\": 2002"));
+        assert!(text.contains("\"verdict\": \"win\""));
+        assert!(text.contains("\"speedup\": 1.0013"));
+        assert!(text.contains("{\"move\": \"force_model=basic\", \"cycles\": 99537}"));
+        // Render twice: byte-identical.
+        assert_eq!(text, render_report(2002, 8, "io-fp", "ooo-fp", &[sample()]));
+    }
+}

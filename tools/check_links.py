@@ -18,6 +18,7 @@ DOCS = [
     "EXPERIMENTS.md",
     "docs/ENGINE.md",
     "docs/SERVE.md",
+    "docs/TUNING.md",
 ]
 
 LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
